@@ -1,0 +1,248 @@
+//! Shared helpers for the application suite: work partitioning, cycle-cost
+//! constants, complex arithmetic, and coarse-grained shared-array I/O.
+//!
+//! # Cost model
+//!
+//! The paper's simulator counts retired x86 instructions at 1 IPC. Our
+//! applications charge explicit cycle costs per arithmetic operation
+//! instead (see DESIGN.md §3); the constants below fold in the loads,
+//! stores and loop overhead surrounding each floating-point operation, so
+//! computation-to-communication ratios stay realistic.
+
+use ssm_proto::{Proc, Scalar, SharedVec};
+
+/// Cycles charged per floating-point operation (with surrounding loads,
+/// stores and address arithmetic at 1 IPC).
+pub const FLOP: u64 = 8;
+
+/// Cycles charged per integer/bookkeeping operation.
+pub const INT_OP: u64 = 2;
+
+/// Cycles charged per element copied between buffers.
+pub const COPY: u64 = 4;
+
+/// Splits `n` items over `nprocs` processors; returns `[start, end)` for
+/// `pid`. Remainders go to the lowest-numbered processors, so sizes differ
+/// by at most one.
+///
+/// # Example
+///
+/// ```rust
+/// use ssm_apps::common::block_range;
+/// assert_eq!(block_range(10, 4, 0), (0, 3));
+/// assert_eq!(block_range(10, 4, 1), (3, 6));
+/// assert_eq!(block_range(10, 4, 3), (8, 10));
+/// ```
+pub fn block_range(n: usize, nprocs: usize, pid: usize) -> (usize, usize) {
+    assert!(pid < nprocs && nprocs > 0);
+    let base = n / nprocs;
+    let rem = n % nprocs;
+    let start = pid * base + pid.min(rem);
+    let len = base + usize::from(pid < rem);
+    (start, start + len)
+}
+
+/// Reads `len` consecutive elements starting at `i` with a single simulated
+/// coarse access, returning the values. This is how the suite models the
+/// blocked/staged copies SPLASH-2 applications use.
+pub fn read_block<T: Scalar>(p: &Proc<'_>, v: &SharedVec<T>, i: usize, len: usize) -> Vec<T> {
+    v.touch_range_read(p, i, len);
+    (i..i + len).map(|j| v.get_direct(j)).collect()
+}
+
+/// Writes `vals` to consecutive elements starting at `i` with a single
+/// simulated coarse access.
+pub fn write_block<T: Scalar>(p: &Proc<'_>, v: &SharedVec<T>, i: usize, vals: &[T]) {
+    if vals.is_empty() {
+        return;
+    }
+    v.touch_range_write(p, i, vals.len());
+    for (k, &val) in vals.iter().enumerate() {
+        v.set_direct(i + k, val);
+    }
+}
+
+/// A complex number (interleaved re/im storage in shared arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cx {
+    /// `re + im*i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Cx { re, im }
+    }
+
+    /// `e^{i theta}`.
+    pub fn cis(theta: f64) -> Self {
+        Cx {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Squared magnitude.
+    pub fn norm2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Cx {
+    type Output = Cx;
+    fn add(self, o: Cx) -> Cx {
+        Cx::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Cx {
+    type Output = Cx;
+    fn sub(self, o: Cx) -> Cx {
+        Cx::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Cx {
+    type Output = Cx;
+    fn mul(self, o: Cx) -> Cx {
+        Cx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+/// In-place iterative radix-2 FFT (Cooley-Tukey with bit reversal).
+/// `inverse` flips the transform direction (no 1/n scaling applied).
+///
+/// # Panics
+///
+/// Panics if `a.len()` is not a power of two.
+pub fn fft_in_place(a: &mut [Cx], inverse: bool) {
+    let n = a.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wl = Cx::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Cx::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = a[start + k];
+                let v = a[start + k + len / 2] * w;
+                a[start + k] = u + v;
+                a[start + k + len / 2] = u - v;
+                w = w * wl;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Cycles an `n`-point in-place FFT costs (5 n log2 n flops, the standard
+/// count).
+pub fn fft_cycles(n: usize) -> u64 {
+    let logn = n.trailing_zeros() as u64;
+    5 * n as u64 * logn * FLOP
+}
+
+/// Naive DFT used by verification code.
+pub fn dft_reference(x: &[Cx]) -> Vec<Cx> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut s = Cx::default();
+            for (j, &xj) in x.iter().enumerate() {
+                let w = Cx::cis(-2.0 * std::f64::consts::PI * (k * j % n) as f64 / n as f64);
+                s = s + xj * w;
+            }
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_range_covers_exactly() {
+        for n in [0usize, 1, 7, 16, 100] {
+            for np in [1usize, 2, 3, 16] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for pid in 0..np {
+                    let (s, e) = block_range(n, np, pid);
+                    assert_eq!(s, prev_end);
+                    prev_end = e;
+                    covered += e - s;
+                }
+                assert_eq!(covered, n);
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 32;
+        let x: Vec<Cx> = (0..n)
+            .map(|i| Cx::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let want = dft_reference(&x);
+        let mut got = x.clone();
+        fft_in_place(&mut got, false);
+        for k in 0..n {
+            assert!(
+                (got[k] - want[k]).norm2() < 1e-18,
+                "bin {k}: {:?} vs {:?}",
+                got[k],
+                want[k]
+            );
+        }
+    }
+
+    #[test]
+    fn fft_round_trip() {
+        let n = 64;
+        let x: Vec<Cx> = (0..n).map(|i| Cx::new(i as f64, -(i as f64))).collect();
+        let mut y = x.clone();
+        fft_in_place(&mut y, false);
+        fft_in_place(&mut y, true);
+        for k in 0..n {
+            let back = Cx::new(y[k].re / n as f64, y[k].im / n as f64);
+            assert!((back - x[k]).norm2() < 1e-16);
+        }
+    }
+
+    #[test]
+    fn complex_algebra() {
+        let a = Cx::new(1.0, 2.0);
+        let b = Cx::new(3.0, -1.0);
+        assert_eq!(a * b, Cx::new(5.0, 5.0));
+        assert_eq!(a + b, Cx::new(4.0, 1.0));
+        assert!((Cx::cis(0.0).re - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fft_cycles_scale() {
+        assert!(fft_cycles(64) > fft_cycles(32) * 2);
+    }
+}

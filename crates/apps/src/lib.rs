@@ -1,0 +1,35 @@
+//! The application suite of the `ssm` reproduction: Rust reimplementations
+//! of the paper's SPLASH-2(-derived) workloads, original **and**
+//! restructured variants, written against the `ssm-proto` programming
+//! model.
+//!
+//! | module | application | restructured variant |
+//! |---|---|---|
+//! | [`fft`] | radix-√n six-step FFT | — |
+//! | [`lu`] | blocked dense LU (contiguous blocks) | — |
+//! | [`ocean`] | red-black SOR grid solver | Ocean-rowwise |
+//! | [`radix`] | parallel radix sort | Radix-Local |
+//! | [`barnes`] | Barnes-Hut N-body | Barnes-Spatial |
+//! | [`raytrace`] | ray tracer with task stealing | — |
+//! | [`volrend`] | volume renderer with task stealing | Volrend-restructured |
+//! | [`water_nsq`] | n² pairwise molecular dynamics | — |
+//! | [`water_sp`] | cell-list molecular dynamics | — |
+//!
+//! Every workload computes a real, self-verified result (see each module's
+//! `verify`); sizes are constructor parameters, with the paper-scaled
+//! defaults listed in [`catalog`].
+
+pub mod barnes;
+pub mod catalog;
+pub mod common;
+pub mod fft;
+pub mod lu;
+pub mod ocean;
+pub mod radix;
+pub mod taskq;
+pub mod raytrace;
+pub mod volrend;
+pub mod water_nsq;
+pub mod water_sp;
+
+pub use ssm_proto::Workload;

@@ -1,0 +1,103 @@
+//! Ablations for design choices called out in DESIGN.md:
+//!
+//! * SC coherence granularity per application (the paper: FFT at fine
+//!   grain is substantially worse; irregular apps prefer fine grain);
+//! * polling vs interrupt-style message handling (the paper: when
+//!   interrupts are used their cost dominates the communication
+//!   architecture);
+//! * diffs vs AURC automatic update (the paper's §4.3 pointer: "hardware
+//!   support for automatic write propagation can eliminate diffs");
+//! * round-robin vs first-touch page placement.
+
+use ssm_bench::{fmt_speedup, note, Harness};
+use ssm_core::{Protocol, SimBuilder};
+use ssm_net::CommParams;
+use ssm_stats::Table;
+
+use ssm_proto::HomePolicy;
+
+fn main() {
+    let mut h = Harness::from_args();
+    println!("Ablation 1: SC granularity, {} processors, scale {:?}.\n", h.procs, h.scale);
+    let grans = [64u64, 256, 1024, 4096];
+    let mut t = Table::new(vec!["Application", "64B", "256B", "1KB", "4KB"]);
+    let apps: Vec<_> = h
+        .apps()
+        .into_iter()
+        .filter(|a| ["FFT", "Ocean-Contiguous", "Barnes-original", "Radix"].contains(&a.name) || !h.filter.is_empty())
+        .collect();
+    for spec in &apps {
+        let base = h.baseline(spec);
+        let mut cells = vec![spec.name.to_string()];
+        for g in grans {
+            note(&format!("{} SC @ {g}B", spec.name));
+            let w = spec.build(h.scale);
+            let r = SimBuilder::new(Protocol::Sc)
+                .procs(h.procs)
+                .sc_block(g)
+                .run(w.as_ref())
+                .expect_verified();
+            cells.push(fmt_speedup(r.speedup(base)));
+        }
+        t.row(cells);
+    }
+    println!("{t}");
+
+    println!("\nAblation 2: polling vs interrupt-cost message handling (HLRC, AO).\n");
+    let mut t = Table::new(vec!["Application", "polling (200cy)", "interrupts (~3000cy)"]);
+    for spec in &apps {
+        let base = h.baseline(spec);
+        let mut cells = vec![spec.name.to_string()];
+        for handling in [200u64, 3000] {
+            note(&format!("{} handling={handling}", spec.name));
+            let mut comm = CommParams::achievable();
+            comm.msg_handling = handling;
+            let w = spec.build(h.scale);
+            let r = SimBuilder::new(Protocol::Hlrc)
+                .procs(h.procs)
+                .comm(comm)
+                .run(w.as_ref())
+                .expect_verified();
+            cells.push(fmt_speedup(r.speedup(base)));
+        }
+        t.row(cells);
+    }
+    println!("{t}");
+
+    println!("\nAblation 3: twins/diffs (HLRC) vs automatic update (AURC), AO.\n");
+    let mut t = Table::new(vec!["Application", "HLRC", "AURC"]);
+    for spec in &apps {
+        let base = h.baseline(spec);
+        let mut cells = vec![spec.name.to_string()];
+        for proto in [Protocol::Hlrc, Protocol::Aurc] {
+            note(&format!("{} {}", spec.name, proto.label()));
+            let w = spec.build(h.scale);
+            let r = SimBuilder::new(proto)
+                .procs(h.procs)
+                .run(w.as_ref())
+                .expect_verified();
+            cells.push(fmt_speedup(r.speedup(base)));
+        }
+        t.row(cells);
+    }
+    println!("{t}");
+
+    println!("\nAblation 4: round-robin vs first-touch page placement (HLRC, AO).\n");
+    let mut t = Table::new(vec!["Application", "round-robin", "first-touch"]);
+    for spec in &apps {
+        let base = h.baseline(spec);
+        let mut cells = vec![spec.name.to_string()];
+        for policy in [HomePolicy::RoundRobin, HomePolicy::FirstTouch] {
+            note(&format!("{} {policy:?}", spec.name));
+            let w = spec.build(h.scale);
+            let r = SimBuilder::new(Protocol::Hlrc)
+                .procs(h.procs)
+                .home_policy(policy)
+                .run(w.as_ref())
+                .expect_verified();
+            cells.push(fmt_speedup(r.speedup(base)));
+        }
+        t.row(cells);
+    }
+    println!("{t}");
+}

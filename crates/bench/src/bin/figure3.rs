@@ -1,0 +1,52 @@
+//! Figure 3: speedups for every application under HLRC and SC across the
+//! layer configurations (bars: IDEAL, B+B, BB, AB, BO, AO, WO for HLRC;
+//! IDEAL, B+O, BO, HO, AO, WO for SC — SC is not swept over protocol
+//! costs, per the paper §4.3).
+
+use ssm_bench::{fmt_speedup, note, Harness};
+use ssm_core::{CommPreset, LayerConfig, Protocol, ProtoPreset};
+use ssm_stats::Table;
+
+fn main() {
+    let mut h = Harness::from_args();
+    println!(
+        "Figure 3: speedups, {} processors, scale {:?} (paper scale: 16 procs).\n",
+        h.procs, h.scale
+    );
+
+    let hlrc_cfgs = LayerConfig::figure3(); // B+B BB AB BO AO WO
+    let sc_cfgs: Vec<LayerConfig> = [
+        (CommPreset::BetterThanBest, ProtoPreset::Original),
+        (CommPreset::Best, ProtoPreset::Original),
+        (CommPreset::Halfway, ProtoPreset::Original),
+        (CommPreset::Achievable, ProtoPreset::Original),
+        (CommPreset::Worse, ProtoPreset::Original),
+    ]
+    .into_iter()
+    .map(|(comm, proto)| LayerConfig { comm, proto })
+    .collect();
+
+    let mut head = vec!["Application".to_string(), "IDEAL".to_string()];
+    head.extend(hlrc_cfgs.iter().map(|c| format!("HLRC {}", c.label())));
+    head.extend(sc_cfgs.iter().map(|c| format!("SC {}", c.label())));
+    let mut t = Table::new(head);
+
+    for spec in h.apps() {
+        note(&format!("running {}", spec.name));
+        let mut cells = vec![spec.name.to_string()];
+        let ideal = h.ideal(&spec);
+        cells.push(fmt_speedup(h.speedup(&spec, &ideal)));
+        for cfg in &hlrc_cfgs {
+            let r = h.run(&spec, Protocol::Hlrc, *cfg);
+            cells.push(fmt_speedup(h.speedup(&spec, &r)));
+        }
+        for cfg in &sc_cfgs {
+            let r = h.run(&spec, Protocol::Sc, *cfg);
+            cells.push(fmt_speedup(h.speedup(&spec, &r)));
+        }
+        t.row(cells);
+    }
+    println!("{t}");
+    println!("Labels: <comm><proto>; A=achievable, B=best, B+=better-than-best,");
+    println!("H=halfway, W=worse / O=original, B=best protocol costs.");
+}

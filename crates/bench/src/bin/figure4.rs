@@ -1,0 +1,42 @@
+//! Figure 4: execution-time breakdowns (busy / cache stall / data wait /
+//! lock wait / barrier wait / protocol), averaged over processors, for the
+//! main layer configurations.
+
+use ssm_bench::{note, Harness};
+use ssm_core::{LayerConfig, Protocol};
+use ssm_stats::{Bucket, Table};
+
+fn main() {
+    let mut h = Harness::from_args();
+    let _ = h.baseline(&ssm_apps::catalog::suite()[0]); // warm nothing; keep mut use
+    println!(
+        "Figure 4: execution-time breakdowns (% of average processor time),\n\
+         {} processors, scale {:?}.\n",
+        h.procs, h.scale
+    );
+    let cfgs = LayerConfig::figure3();
+    let mut head = vec!["App / Config".to_string()];
+    head.extend(Bucket::ALL.iter().map(|b| b.label().to_string()));
+    for spec in h.apps() {
+        let mut t = Table::new(head.clone());
+        for proto in [Protocol::Hlrc, Protocol::Sc] {
+            for cfg in &cfgs {
+                if proto == Protocol::Sc && cfg.proto != ssm_core::ProtoPreset::Original {
+                    continue; // SC runs at original protocol costs only
+                }
+                note(&format!("{} {} {}", spec.name, proto.label(), cfg.label()));
+                let r = h.run(&spec, proto, *cfg);
+                let b = r.avg_breakdown();
+                let mut cells = vec![format!("{} {}", proto.label(), cfg.label())];
+                cells.extend(
+                    Bucket::ALL
+                        .iter()
+                        .map(|k| format!("{:.1}%", 100.0 * b.fraction(*k))),
+                );
+                t.row(cells);
+            }
+        }
+        println!("--- {} ---", spec.name);
+        println!("{t}");
+    }
+}

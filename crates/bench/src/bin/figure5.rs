@@ -1,0 +1,75 @@
+//! Figure 5: the impact of varying ONE communication parameter at a time
+//! (host overhead, NI occupancy, I/O bus bandwidth, message handling),
+//! holding the others at the achievable values — for both protocols.
+//!
+//! The paper's finding: fine-grained SC depends mostly on overhead and
+//! occupancy, while HLRC depends mostly on bandwidth.
+
+use ssm_bench::{fmt_speedup, note, Harness};
+use ssm_core::{Protocol, SimBuilder};
+use ssm_net::CommParams;
+use ssm_stats::Table;
+
+/// (label, multiplier-applied-to-achievable): 0 = free, 1/2, 1, 2.
+const POINTS: [(&str, u64, u64); 4] = [("0x", 0, 1), ("0.5x", 1, 2), ("1x", 1, 1), ("2x", 2, 1)];
+
+fn vary(param: &str, num: u64, den: u64) -> CommParams {
+    let mut p = CommParams::achievable();
+    let scale = |v: u64| v * num / den;
+    match param {
+        "host overhead" => p.host_overhead = scale(p.host_overhead),
+        "NI occupancy" => p.ni_occupancy = scale(p.ni_occupancy),
+        "msg handling" => p.msg_handling = scale(p.msg_handling),
+        "I/O bus bw" => {
+            // Varying the *cost* of bandwidth: 0x cost = infinite bw.
+            p.io_bus_rate = if num == 0 {
+                None
+            } else {
+                let (b, c) = p.io_bus_rate.expect("achievable has a rate");
+                Some((b * den, c * num))
+            };
+        }
+        _ => unreachable!(),
+    }
+    p
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    // The paper shows a subset of applications; default to a regular, an
+    // irregular and the bandwidth-bound one unless --app filters.
+    let default = ["FFT", "Ocean-Contiguous", "Barnes-original", "Water-Nsquared", "Radix"];
+    let apps: Vec<_> = h
+        .apps()
+        .into_iter()
+        .filter(|a| !h.filter.is_empty() || default.contains(&a.name))
+        .collect();
+    println!(
+        "Figure 5: speedup vs a single communication parameter (others at\n\
+         achievable), {} processors, scale {:?}.\n",
+        h.procs, h.scale
+    );
+    for spec in apps {
+        let base = h.baseline(&spec);
+        let mut t = Table::new(vec!["Parameter", "0x", "0.5x", "1x", "2x"]);
+        for proto in [Protocol::Hlrc, Protocol::Sc] {
+            for param in ["host overhead", "NI occupancy", "I/O bus bw", "msg handling"] {
+                let mut cells = vec![format!("{} {}", proto.label(), param)];
+                for (label, num, den) in POINTS {
+                    note(&format!("{} {} {} {}", spec.name, proto.label(), param, label));
+                    let w = spec.build(h.scale);
+                    let r = SimBuilder::new(proto)
+                        .procs(h.procs)
+                        .comm(vary(param, num, den))
+                        .sc_block(spec.sc_block)
+                        .run(w.as_ref())
+                        .expect_verified();
+                    cells.push(fmt_speedup(r.speedup(base)));
+                }
+                t.row(cells);
+            }
+        }
+        println!("--- {} ---", spec.name);
+        println!("{t}");
+    }
+}

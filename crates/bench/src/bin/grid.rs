@@ -1,0 +1,49 @@
+//! The full 15-point configuration grid (5 communication x 3 protocol
+//! presets) for selected applications — the HO/AH/HB points the paper
+//! discusses in prose but leaves out of Figure 3 "to prevent
+//! overcrowding".
+
+use ssm_bench::{fmt_speedup, note, Harness};
+use ssm_core::{CommPreset, LayerConfig, Protocol, ProtoPreset};
+use ssm_stats::Table;
+
+fn main() {
+    let mut h = Harness::from_args();
+    let default = ["FFT", "Ocean-Contiguous", "Barnes-original", "Water-Nsquared"];
+    let apps: Vec<_> = h
+        .apps()
+        .into_iter()
+        .filter(|a| !h.filter.is_empty() || default.contains(&a.name))
+        .collect();
+    println!(
+        "Full configuration grid (HLRC speedups), {} processors, scale {:?}.\n\
+         Rows: communication preset; columns: protocol preset.\n",
+        h.procs, h.scale
+    );
+    for spec in apps {
+        let mut t = Table::new(vec!["comm \\ proto", "O", "H", "B"]);
+        for comm in [
+            CommPreset::Worse,
+            CommPreset::Achievable,
+            CommPreset::Halfway,
+            CommPreset::Best,
+            CommPreset::BetterThanBest,
+        ] {
+            let mut cells = vec![comm.label().to_string()];
+            for proto in [ProtoPreset::Original, ProtoPreset::Halfway, ProtoPreset::Best] {
+                note(&format!("{} {}{}", spec.name, comm.label(), proto.label()));
+                let r = h.run(&spec, Protocol::Hlrc, LayerConfig { comm, proto });
+                cells.push(fmt_speedup(h.speedup(&spec, &r)));
+            }
+            t.row(cells);
+        }
+        println!("--- {} ---", spec.name);
+        println!("{t}");
+    }
+    println!(
+        "Read along rows/columns for the paper's halfway observations:\n\
+         \"improving communication costs to the halfway point usually improves\n\
+         performance about halfway between AO and BO\", and the synergy that\n\
+         protocol costs gain leverage once communication reaches H or B."
+    );
+}

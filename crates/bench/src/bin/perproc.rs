@@ -1,0 +1,55 @@
+//! Per-processor breakdowns — the analysis view the paper uses to explain
+//! imbalance ("to analyze the results we always refer to per-processor
+//! breakdowns", §3.4; e.g. Radix's imbalanced data-wait times and
+//! Volrend's compute balance under task stealing).
+//!
+//! Usage: `--app NAME` (defaults to Radix), plus the usual
+//! `--procs/--scale` flags.
+
+use ssm_bench::{note, Harness};
+use ssm_core::{LayerConfig, Protocol};
+use ssm_stats::{Bucket, Table};
+
+fn main() {
+    let mut h = Harness::from_args();
+    if h.filter.is_empty() {
+        h.filter = "Radix".to_string();
+    }
+    for spec in h.apps() {
+        note(&format!("running {}", spec.name));
+        let r = h.run(&spec, Protocol::Hlrc, LayerConfig::base());
+        println!(
+            "--- {} (HLRC, AO, {} processors, scale {:?}) ---",
+            spec.name, h.procs, h.scale
+        );
+        let mut head = vec!["proc".to_string()];
+        head.extend(Bucket::ALL.iter().map(|b| b.label().to_string()));
+        head.push("total".to_string());
+        let mut t = Table::new(head);
+        for (p, b) in r.per_proc.iter().enumerate() {
+            let mut cells = vec![format!("P{p}")];
+            cells.extend(Bucket::ALL.iter().map(|k| b.get(*k).to_string()));
+            cells.push(b.total().to_string());
+            t.row(cells);
+        }
+        println!("{t}");
+        // Imbalance summary: max/mean per bucket.
+        let mut t = Table::new(vec!["bucket", "mean", "max", "max/mean"]);
+        for k in Bucket::ALL {
+            let vals: Vec<u64> = r.per_proc.iter().map(|b| b.get(k)).collect();
+            let mean = vals.iter().sum::<u64>() as f64 / vals.len() as f64;
+            let max = *vals.iter().max().expect("nonempty") as f64;
+            t.row(vec![
+                k.label().to_string(),
+                format!("{mean:.0}"),
+                format!("{max:.0}"),
+                if mean > 0.0 {
+                    format!("{:.2}", max / mean)
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+        println!("{t}");
+    }
+}

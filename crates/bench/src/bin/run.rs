@@ -1,0 +1,181 @@
+//! General-purpose runner: one application x protocol x configuration,
+//! with full reporting. The Swiss-army knife for exploring the simulator.
+//!
+//! ```text
+//! cargo run --release -p ssm-bench --bin run -- \
+//!     --app Barnes-original --protocol hlrc --comm A --proto O \
+//!     --procs 16 --scale bench --breakdown --counters --perproc
+//! ```
+
+use ssm_apps::catalog::{by_name, suite, Scale};
+use ssm_core::{sequential_baseline, Protocol, SimBuilder};
+use ssm_net::CommParams;
+use ssm_proto::{HomePolicy, ProtoCosts};
+use ssm_stats::{Bucket, Table};
+
+struct Args {
+    app: String,
+    protocol: Protocol,
+    comm: CommParams,
+    costs: ProtoCosts,
+    procs: usize,
+    scale: Scale,
+    homes: HomePolicy,
+    sc_block: Option<u64>,
+    breakdown: bool,
+    counters: bool,
+    perproc: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run --app NAME [--protocol hlrc|aurc|sc|sc-delayed|ideal] \
+         [--comm A|B|B+|H|W] [--proto O|H|B] [--procs N] \
+         [--scale test|bench|full] [--homes rr|first-touch] [--block BYTES] \
+         [--breakdown] [--counters] [--perproc] [--list]"
+    );
+    std::process::exit(2)
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        app: String::new(),
+        protocol: Protocol::Hlrc,
+        comm: CommParams::achievable(),
+        costs: ProtoCosts::original(),
+        procs: 16,
+        scale: Scale::Bench,
+        homes: HomePolicy::RoundRobin,
+        sc_block: None,
+        breakdown: false,
+        counters: false,
+        perproc: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--app" => a.app = val(),
+            "--protocol" => {
+                a.protocol = match val().as_str() {
+                    "hlrc" => Protocol::Hlrc,
+                    "aurc" => Protocol::Aurc,
+                    "sc" => Protocol::Sc,
+                    "sc-delayed" => Protocol::ScDelayed,
+                    "ideal" => Protocol::Ideal,
+                    _ => usage(),
+                }
+            }
+            "--comm" => {
+                a.comm = match val().as_str() {
+                    "A" => CommParams::achievable(),
+                    "B" => CommParams::best(),
+                    "B+" => CommParams::better_than_best(),
+                    "H" => CommParams::halfway(),
+                    "W" => CommParams::worse(),
+                    _ => usage(),
+                }
+            }
+            "--proto" => {
+                a.costs = match val().as_str() {
+                    "O" => ProtoCosts::original(),
+                    "H" => ProtoCosts::halfway(),
+                    "B" => ProtoCosts::best(),
+                    _ => usage(),
+                }
+            }
+            "--procs" => a.procs = val().parse().unwrap_or_else(|_| usage()),
+            "--scale" => {
+                a.scale = match val().as_str() {
+                    "test" => Scale::Test,
+                    "bench" => Scale::Bench,
+                    "full" => Scale::Full,
+                    _ => usage(),
+                }
+            }
+            "--homes" => {
+                a.homes = match val().as_str() {
+                    "rr" => HomePolicy::RoundRobin,
+                    "first-touch" => HomePolicy::FirstTouch,
+                    _ => usage(),
+                }
+            }
+            "--block" => a.sc_block = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--breakdown" => a.breakdown = true,
+            "--counters" => a.counters = true,
+            "--perproc" => a.perproc = true,
+            "--list" => {
+                for s in suite() {
+                    println!("{}", s.name);
+                }
+                std::process::exit(0);
+            }
+            _ => usage(),
+        }
+    }
+    if a.app.is_empty() {
+        usage();
+    }
+    a
+}
+
+fn main() {
+    let a = parse();
+    let spec = by_name(&a.app).unwrap_or_else(|| {
+        eprintln!("unknown app {:?}; use --list", a.app);
+        std::process::exit(2)
+    });
+    let block = a.sc_block.unwrap_or(spec.sc_block);
+    let w = spec.build(a.scale);
+    eprintln!("[run] sequential baseline…");
+    let seq = sequential_baseline(w.as_ref()).total_cycles;
+    eprintln!("[run] simulating {} x {:?}…", spec.name, a.protocol);
+    let w = spec.build(a.scale);
+    let r = SimBuilder::new(a.protocol)
+        .procs(a.procs)
+        .comm(a.comm.clone())
+        .proto(a.costs.clone())
+        .sc_block(block)
+        .home_policy(a.homes)
+        .run(w.as_ref())
+        .expect_verified();
+
+    println!("app:        {}", r.app);
+    println!("protocol:   {}", r.protocol);
+    println!("processors: {}", r.nprocs);
+    println!("sequential: {seq} cycles");
+    println!("parallel:   {} cycles", r.total_cycles);
+    println!("speedup:    {:.2}", r.speedup(seq));
+    if a.breakdown {
+        println!("\naverage breakdown: {}", r.avg_breakdown());
+    }
+    if a.counters {
+        let c = r.counters;
+        println!(
+            "\nmessages={} bytes={} fetches={} diffs={} diff_words={} twins={} \
+             auto_updates={} write_notices={} invalidations={} locks={} barriers={}",
+            c.messages,
+            c.bytes,
+            c.fetches,
+            c.diffs,
+            c.diff_words,
+            c.twins,
+            c.auto_updates,
+            c.write_notices,
+            c.invalidations,
+            c.lock_acquires,
+            c.barriers
+        );
+    }
+    if a.perproc {
+        let mut head = vec!["proc".to_string()];
+        head.extend(Bucket::ALL.iter().map(|b| b.label().to_string()));
+        let mut t = Table::new(head);
+        for (p, b) in r.per_proc.iter().enumerate() {
+            let mut cells = vec![format!("P{p}")];
+            cells.extend(Bucket::ALL.iter().map(|k| b.get(*k).to_string()));
+            t.row(cells);
+        }
+        println!("\n{t}");
+    }
+}

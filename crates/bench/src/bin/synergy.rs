@@ -1,0 +1,56 @@
+//! Synergy between layers (paper §4.5): the improvement each system layer
+//! buys depends on the state of the other. Reports, per application under
+//! HLRC, the percentage speedup gains:
+//!
+//! * protocol idealization before/after communication idealization
+//!   (AO→AB vs BO→BB),
+//! * communication idealization before/after protocol idealization
+//!   (AO→BO vs AB→BB).
+
+use ssm_bench::{note, Harness};
+use ssm_core::{CommPreset, LayerConfig, Protocol, ProtoPreset};
+use ssm_stats::Table;
+
+fn main() {
+    let mut h = Harness::from_args();
+    println!(
+        "Layer synergy under HLRC, {} processors, scale {:?}.\n",
+        h.procs, h.scale
+    );
+    let mut t = Table::new(vec![
+        "Application",
+        "AO->AB",
+        "BO->BB",
+        "AO->BO",
+        "AB->BB",
+        "synergy",
+    ]);
+    for spec in h.apps() {
+        note(&format!("running {}", spec.name));
+        let mut s = |comm: CommPreset, proto: ProtoPreset| {
+            let r = h.run(&spec, Protocol::Hlrc, LayerConfig { comm, proto });
+            let b = h.baseline(&spec);
+            r.speedup(b)
+        };
+        let ao = s(CommPreset::Achievable, ProtoPreset::Original);
+        let ab = s(CommPreset::Achievable, ProtoPreset::Best);
+        let bo = s(CommPreset::Best, ProtoPreset::Original);
+        let bb = s(CommPreset::Best, ProtoPreset::Best);
+        let pct = |from: f64, to: f64| 100.0 * (to - from) / from;
+        let proto_before = pct(ao, ab);
+        let proto_after = pct(bo, bb);
+        let comm_before = pct(ao, bo);
+        let comm_after = pct(ab, bb);
+        let synergy = proto_after > proto_before || comm_after > comm_before;
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{proto_before:+.0}%"),
+            format!("{proto_after:+.0}%"),
+            format!("{comm_before:+.0}%"),
+            format!("{comm_after:+.0}%"),
+            if synergy { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("Synergy = idealizing one layer raises the percentage gain of the other.");
+}

@@ -1,0 +1,42 @@
+//! Table 2: communication parameter sets.
+
+use ssm_core::CommPreset;
+use ssm_stats::Table;
+
+fn main() {
+    println!("Table 2: Communication parameter values (processor cycles; 1 IPC @ 200 MHz).\n");
+    let mut t = Table::new(vec![
+        "Parameter",
+        "A (achievable)",
+        "B (best)",
+        "H (halfway)",
+        "W (worse)",
+        "B+",
+    ]);
+    let sets: Vec<_> = [
+        CommPreset::Achievable,
+        CommPreset::Best,
+        CommPreset::Halfway,
+        CommPreset::Worse,
+        CommPreset::BetterThanBest,
+    ]
+    .iter()
+    .map(|p| p.params())
+    .collect();
+    let row = |name: &str, f: &dyn Fn(&ssm_net::CommParams) -> String| {
+        let mut cells = vec![name.to_string()];
+        for s in &sets {
+            cells.push(f(s));
+        }
+        cells
+    };
+    t.row(row("Host overhead (cycles/msg)", &|s| s.host_overhead.to_string()));
+    t.row(row("I/O bus bandwidth (B/cycle)", &|s| match s.io_bus_rate {
+        Some((b, c)) => format!("{:.2}", b as f64 / c as f64),
+        None => "inf".into(),
+    }));
+    t.row(row("NI occupancy (cycles/pkt)", &|s| s.ni_occupancy.to_string()));
+    t.row(row("Message handling (cycles)", &|s| s.msg_handling.to_string()));
+    t.row(row("Link latency (cycles)", &|s| s.link_latency.to_string()));
+    println!("{t}");
+}

@@ -1,0 +1,43 @@
+//! Table 4: percentage of time processors spend in protocol activity
+//! under HLRC at the base (AO) configuration, split into protocol-handler
+//! execution and diff computation (plus twin/mprotect detail).
+
+use ssm_bench::{note, Harness};
+use ssm_core::{LayerConfig, Protocol};
+use ssm_stats::Table;
+
+fn main() {
+    let mut h = Harness::from_args();
+    let _ = &mut h;
+    println!(
+        "Table 4: % of processor time in protocol activity (HLRC, AO),\n\
+         {} processors, scale {:?}.\n",
+        h.procs, h.scale
+    );
+    let mut t = Table::new(vec![
+        "Application",
+        "Total%",
+        "Handler%",
+        "Diff%",
+        "Twin%",
+        "Mprotect%",
+    ]);
+    for spec in h.apps() {
+        note(&format!("running {}", spec.name));
+        let r = h.run(&spec, Protocol::Hlrc, LayerConfig::base());
+        // Percentages of total (all-processor) execution time, like the
+        // paper's Table 4.
+        let wall: u64 = r.per_proc.iter().map(|b| b.total()).sum();
+        let wall = wall.max(1) as f64;
+        let a = r.activity;
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{:.1}", 100.0 * a.total() as f64 / wall),
+            format!("{:.1}", 100.0 * a.handler as f64 / wall),
+            format!("{:.1}", 100.0 * a.diff_total() as f64 / wall),
+            format!("{:.1}", 100.0 * a.twin as f64 / wall),
+            format!("{:.1}", 100.0 * a.mprotect as f64 / wall),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,75 @@
+//! Table 5: per-application summary for HLRC — which system layer matters
+//! more from the base system, whether AB or HB beats BO, and the cheapest
+//! configuration (if any) reaching ~10-fold speedup on 16 processors.
+
+use ssm_bench::{fmt_speedup, note, Harness};
+use ssm_core::{CommPreset, LayerConfig, Protocol, ProtoPreset};
+use ssm_stats::Table;
+
+fn cfg(comm: CommPreset, proto: ProtoPreset) -> LayerConfig {
+    LayerConfig { comm, proto }
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    println!(
+        "Table 5: per-application summary (HLRC), {} processors, scale {:?}.\n",
+        h.procs, h.scale
+    );
+    // The ladder orders configurations from cheapest improvement to most
+    // aggressive; the "10x config" column reports the first that reaches
+    // 10-fold speedup.
+    let ladder = [
+        cfg(CommPreset::Achievable, ProtoPreset::Original),
+        cfg(CommPreset::Achievable, ProtoPreset::Halfway),
+        cfg(CommPreset::Halfway, ProtoPreset::Original),
+        cfg(CommPreset::Halfway, ProtoPreset::Halfway),
+        cfg(CommPreset::Achievable, ProtoPreset::Best),
+        cfg(CommPreset::Best, ProtoPreset::Original),
+        cfg(CommPreset::Halfway, ProtoPreset::Best),
+        cfg(CommPreset::Best, ProtoPreset::Halfway),
+        cfg(CommPreset::Best, ProtoPreset::Best),
+        cfg(CommPreset::BetterThanBest, ProtoPreset::Best),
+    ];
+    let mut t = Table::new(vec![
+        "Application",
+        "AO",
+        "AB",
+        "BO",
+        "HB",
+        "more important",
+        "AB|HB > BO?",
+        "first 10x",
+    ]);
+    for spec in h.apps() {
+        note(&format!("running {}", spec.name));
+        let s = |h: &mut Harness, c: LayerConfig| {
+            let r = h.run(&spec, Protocol::Hlrc, c);
+            h.speedup(&spec, &r)
+        };
+        let ao = s(&mut h, cfg(CommPreset::Achievable, ProtoPreset::Original));
+        let ab = s(&mut h, cfg(CommPreset::Achievable, ProtoPreset::Best));
+        let bo = s(&mut h, cfg(CommPreset::Best, ProtoPreset::Original));
+        let hb = s(&mut h, cfg(CommPreset::Halfway, ProtoPreset::Best));
+        let more = if bo > ab { "communication" } else { "protocol" };
+        let beats = if ab > bo || hb > bo { "yes" } else { "no" };
+        let mut first10 = "none".to_string();
+        for c in ladder {
+            if s(&mut h, c) >= 10.0 {
+                first10 = c.label();
+                break;
+            }
+        }
+        t.row(vec![
+            spec.name.to_string(),
+            fmt_speedup(ao),
+            fmt_speedup(ab),
+            fmt_speedup(bo),
+            fmt_speedup(hb),
+            more.to_string(),
+            beats.to_string(),
+            first10,
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,172 @@
+//! Benchmark harness for the `ssm` reproduction: shared runner utilities
+//! used by the per-table/per-figure binaries (`src/bin/`) and the
+//! Criterion micro-benchmarks (`benches/`).
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--procs N` — simulated processors (default 16, the paper's scale);
+//! * `--scale test|bench|full` — problem sizes (default `bench`; see
+//!   `ssm_apps::catalog::Scale`);
+//! * `--app NAME` — restrict to applications whose name contains `NAME`.
+//!
+//! Run e.g. `cargo run --release -p ssm-bench --bin figure3`.
+
+use std::collections::HashMap;
+
+use ssm_apps::catalog::{suite, AppSpec, Scale};
+use ssm_core::{sequential_baseline, LayerConfig, Protocol, RunResult, SimBuilder};
+
+/// Command-line configuration shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Simulated processor count.
+    pub procs: usize,
+    /// Problem-size scale.
+    pub scale: Scale,
+    /// Substring filter on application names (empty = all).
+    pub filter: String,
+    /// Cached sequential baselines, keyed by app name.
+    baselines: HashMap<String, u64>,
+}
+
+impl Harness {
+    /// Parses `--procs`, `--scale` and `--app` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut procs = 16usize;
+        let mut scale = Scale::Bench;
+        let mut filter = String::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--procs" => {
+                    procs = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--procs needs a number");
+                }
+                "--scale" => {
+                    scale = match args.next().as_deref() {
+                        Some("test") => Scale::Test,
+                        Some("bench") => Scale::Bench,
+                        Some("full") => Scale::Full,
+                        other => panic!("--scale test|bench|full, got {other:?}"),
+                    };
+                }
+                "--app" => {
+                    filter = args.next().expect("--app needs a name");
+                }
+                other => panic!("unknown flag {other}; use --procs/--scale/--app"),
+            }
+        }
+        Harness {
+            procs,
+            scale,
+            filter,
+            baselines: HashMap::new(),
+        }
+    }
+
+    /// A harness with explicit settings (used by tests).
+    pub fn fixed(procs: usize, scale: Scale) -> Self {
+        Harness {
+            procs,
+            scale,
+            filter: String::new(),
+            baselines: HashMap::new(),
+        }
+    }
+
+    /// The selected applications.
+    pub fn apps(&self) -> Vec<AppSpec> {
+        suite()
+            .into_iter()
+            .filter(|a| self.filter.is_empty() || a.name.contains(&self.filter))
+            .collect()
+    }
+
+    /// The sequential baseline (best sequential version) for `spec`,
+    /// cached across calls.
+    pub fn baseline(&mut self, spec: &AppSpec) -> u64 {
+        let scale = self.scale;
+        if let Some(&b) = self.baselines.get(spec.name) {
+            return b;
+        }
+        let w = spec.build(scale);
+        let b = sequential_baseline(w.as_ref()).total_cycles;
+        self.baselines.insert(spec.name.to_string(), b);
+        b
+    }
+
+    /// Runs `spec` under `protocol` at layer configuration `cfg`.
+    /// SC automatically uses the application's best granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails verification — a harness run must
+    /// never report timings for a wrong answer.
+    pub fn run(&self, spec: &AppSpec, protocol: Protocol, cfg: LayerConfig) -> RunResult {
+        let w = spec.build(self.scale);
+        SimBuilder::new(protocol)
+            .procs(self.procs)
+            .layers(cfg)
+            .sc_block(spec.sc_block)
+            .run(w.as_ref())
+            .expect_verified()
+    }
+
+    /// Runs the IDEAL machine for `spec` (the paper's topmost bar).
+    pub fn ideal(&self, spec: &AppSpec) -> RunResult {
+        let w = spec.build(self.scale);
+        SimBuilder::new(Protocol::Ideal)
+            .procs(self.procs)
+            .run(w.as_ref())
+            .expect_verified()
+    }
+
+    /// Speedup of `r` for `spec` against the cached baseline.
+    pub fn speedup(&mut self, spec: &AppSpec, r: &RunResult) -> f64 {
+        let b = self.baseline(spec);
+        r.speedup(b)
+    }
+}
+
+/// Formats a speedup cell.
+pub fn fmt_speedup(s: f64) -> String {
+    format!("{s:.2}")
+}
+
+/// Prints a progress note to stderr (kept out of the table output).
+pub fn note(msg: &str) {
+    eprintln!("[ssm-bench] {msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_one_cell() {
+        let mut h = Harness::fixed(2, Scale::Test);
+        let spec = ssm_apps::catalog::by_name("LU-Contiguous").expect("LU");
+        let r = h.run(&spec, Protocol::Hlrc, LayerConfig::base());
+        let s = h.speedup(&spec, &r);
+        assert!(s > 0.0);
+        // Baseline is cached.
+        assert_eq!(h.baselines.len(), 1);
+        let _ = h.baseline(&spec);
+        assert_eq!(h.baselines.len(), 1);
+    }
+
+    #[test]
+    fn filter_selects_apps() {
+        let mut h = Harness::fixed(2, Scale::Test);
+        h.filter = "Water".to_string();
+        let apps = h.apps();
+        assert_eq!(apps.len(), 2);
+        assert!(apps.iter().all(|a| a.name.contains("Water")));
+    }
+}

@@ -1,0 +1,205 @@
+//! Layer-cost presets: the paper's named communication and protocol
+//! parameter sets, and the composite configurations that label every bar
+//! in Figures 3 and 4.
+
+use ssm_net::CommParams;
+use ssm_proto::ProtoCosts;
+
+/// Named communication-layer parameter sets (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommPreset {
+    /// "A": achievable today (PentiumPro + Myrinet + VMMC).
+    Achievable,
+    /// "B": all parameterized costs zero (link latency remains).
+    Best,
+    /// "B+": better than best — free link, 4 bytes/cycle I/O bus.
+    BetterThanBest,
+    /// "H": halfway between achievable and best.
+    Halfway,
+    /// "W": all costs doubled relative to achievable (communication
+    /// degrading against processor speed).
+    Worse,
+}
+
+impl CommPreset {
+    /// All presets in best-to-worst order.
+    pub const ALL: [CommPreset; 5] = [
+        CommPreset::BetterThanBest,
+        CommPreset::Best,
+        CommPreset::Halfway,
+        CommPreset::Achievable,
+        CommPreset::Worse,
+    ];
+
+    /// The parameter values for this preset.
+    pub fn params(self) -> CommParams {
+        match self {
+            CommPreset::Achievable => CommParams::achievable(),
+            CommPreset::Best => CommParams::best(),
+            CommPreset::BetterThanBest => CommParams::better_than_best(),
+            CommPreset::Halfway => CommParams::halfway(),
+            CommPreset::Worse => CommParams::worse(),
+        }
+    }
+
+    /// The paper's one-letter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CommPreset::Achievable => "A",
+            CommPreset::Best => "B",
+            CommPreset::BetterThanBest => "B+",
+            CommPreset::Halfway => "H",
+            CommPreset::Worse => "W",
+        }
+    }
+}
+
+/// Named protocol-layer cost sets (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtoPreset {
+    /// "O": the measured costs of the real implementation.
+    Original,
+    /// "B": all protocol actions free (idealized hardware support).
+    Best,
+    /// "H": halfway.
+    Halfway,
+}
+
+impl ProtoPreset {
+    /// All presets in best-to-worst order.
+    pub const ALL: [ProtoPreset; 3] = [ProtoPreset::Best, ProtoPreset::Halfway, ProtoPreset::Original];
+
+    /// The cost values for this preset.
+    pub fn costs(self) -> ProtoCosts {
+        match self {
+            ProtoPreset::Original => ProtoCosts::original(),
+            ProtoPreset::Best => ProtoCosts::best(),
+            ProtoPreset::Halfway => ProtoCosts::halfway(),
+        }
+    }
+
+    /// The paper's one-letter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtoPreset::Original => "O",
+            ProtoPreset::Best => "B",
+            ProtoPreset::Halfway => "H",
+        }
+    }
+}
+
+/// A `<communication><protocol>` configuration, labelled as in the paper:
+/// "AO" is the base system, "BB" idealizes both system layers, "B+B" adds
+/// the better-than-best network, "WO" degrades communication 2x.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerConfig {
+    /// Communication-layer preset.
+    pub comm: CommPreset,
+    /// Protocol-layer preset.
+    pub proto: ProtoPreset,
+}
+
+impl LayerConfig {
+    /// The base system ("AO").
+    pub fn base() -> Self {
+        LayerConfig {
+            comm: CommPreset::Achievable,
+            proto: ProtoPreset::Original,
+        }
+    }
+
+    /// The configurations shown as bars in Figure 3, best to worst:
+    /// B+B, BB, AB, BO, AO, WO. (HO/AH/HB are discussed in the text and
+    /// available through [`LayerConfig::full_grid`].)
+    pub fn figure3() -> Vec<LayerConfig> {
+        [
+            (CommPreset::BetterThanBest, ProtoPreset::Best),
+            (CommPreset::Best, ProtoPreset::Best),
+            (CommPreset::Achievable, ProtoPreset::Best),
+            (CommPreset::Best, ProtoPreset::Original),
+            (CommPreset::Achievable, ProtoPreset::Original),
+            (CommPreset::Worse, ProtoPreset::Original),
+        ]
+        .into_iter()
+        .map(|(comm, proto)| LayerConfig { comm, proto })
+        .collect()
+    }
+
+    /// Every combination of the five communication and three protocol
+    /// presets (15 configurations).
+    pub fn full_grid() -> Vec<LayerConfig> {
+        let mut v = Vec::new();
+        for comm in CommPreset::ALL {
+            for proto in ProtoPreset::ALL {
+                v.push(LayerConfig { comm, proto });
+            }
+        }
+        v
+    }
+
+    /// The paper's two-letter label ("AO", "BB", "B+B", …).
+    pub fn label(self) -> String {
+        format!("{}{}", self.comm.label(), self.proto.label())
+    }
+}
+
+/// Which protocol runs the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Home-based lazy release consistency (page-grained SVM).
+    Hlrc,
+    /// AURC: HLRC with hardware automatic-update write propagation
+    /// instead of twins/diffs (the paper's diff-elimination direction).
+    Aurc,
+    /// Fine/variable-grained sequentially-consistent DSM.
+    Sc,
+    /// Fine-grained delayed / eager-release consistency (the paper's
+    /// footnote variant: "a little better than SC for most granularities
+    /// smaller than a page").
+    ScDelayed,
+    /// The idealized machine (free communication and protocol).
+    Ideal,
+}
+
+impl Protocol {
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Hlrc => "HLRC",
+            Protocol::Aurc => "AURC",
+            Protocol::Sc => "SC",
+            Protocol::ScDelayed => "SC-delayed",
+            Protocol::Ideal => "IDEAL",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(LayerConfig::base().label(), "AO");
+        let f3: Vec<String> = LayerConfig::figure3().iter().map(|c| c.label()).collect();
+        assert_eq!(f3, vec!["B+B", "BB", "AB", "BO", "AO", "WO"]);
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let g = LayerConfig::full_grid();
+        assert_eq!(g.len(), 15);
+        let labels: std::collections::HashSet<String> =
+            g.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 15);
+        assert!(labels.contains("HB"));
+        assert!(labels.contains("WO"));
+    }
+
+    #[test]
+    fn presets_resolve() {
+        assert_eq!(CommPreset::Best.params().host_overhead, 0);
+        assert_eq!(ProtoPreset::Halfway.costs().handler_base, 50);
+        assert_eq!(Protocol::Hlrc.label(), "HLRC");
+    }
+}

@@ -1,0 +1,174 @@
+//! AURC-mode tests: automatic update replaces twins/diffs while the lazy
+//! write-notice machinery behaves exactly as in HLRC.
+
+use ssm_hlrc::{Hlrc, PageState, WriteMode};
+use ssm_mem::MemConfig;
+use ssm_net::CommParams;
+use ssm_proto::{LockId, Machine, ProtoCosts, Protocol, WorldShape, PAGE_SIZE};
+
+fn setup(nprocs: usize) -> (Machine, Hlrc) {
+    let m = Machine::new(
+        nprocs,
+        CommParams::achievable(),
+        ProtoCosts::original(),
+        MemConfig::pentium_pro_like(),
+    );
+    let mut h = Hlrc::aurc();
+    h.init(
+        &m,
+        &WorldShape {
+            heap_bytes: 1 << 20,
+            nlocks: 4,
+            nbarriers: 2,
+        },
+    );
+    (m, h)
+}
+
+#[test]
+fn aurc_mode_and_name() {
+    let (_, h) = setup(2);
+    assert_eq!(h.mode(), WriteMode::AutoUpdate);
+    assert_eq!(h.name(), "AURC");
+    assert_eq!(Hlrc::new().name(), "HLRC");
+}
+
+#[test]
+fn writes_stream_updates_not_twins() {
+    let (mut m, mut h) = setup(2);
+    // Node 0 writes 3 times into page 1 (home: node 1).
+    let mut t = 0;
+    for i in 0..3u64 {
+        m.clock[0] = t;
+        t = h.write(&mut m, 0, PAGE_SIZE + i * 64, 8);
+    }
+    assert_eq!(m.counters()[0].twins, 0, "AURC never twins");
+    assert_eq!(m.counters()[0].auto_updates, 3);
+    assert_eq!(h.page_state(0, 1), PageState::ReadWrite);
+    // The page was fetched once (write fault on Invalid), then streamed.
+    assert_eq!(m.counters()[0].fetches, 1);
+}
+
+#[test]
+fn release_creates_no_diffs_and_page_stays_writable() {
+    let (mut m, mut h) = setup(2);
+    let t = h.write(&mut m, 0, PAGE_SIZE, 16);
+    m.clock[0] = t;
+    assert!(h.lock_table_mut().acquire(LockId(0), 0));
+    let t2 = h.unlock(&mut m, 0, LockId(0));
+    assert!(t2 >= t);
+    assert_eq!(m.counters()[0].diffs, 0);
+    assert_eq!(m.activities()[0].diff_create, 0);
+    assert_eq!(m.activities()[1].diff_apply, 0);
+    // Unlike HLRC, the page is NOT downgraded at release.
+    assert_eq!(h.page_state(0, 1), PageState::ReadWrite);
+}
+
+#[test]
+fn notices_still_invalidate_at_acquire() {
+    let (mut m, mut h) = setup(3);
+    // P2 caches page 0 (home 0) read-only.
+    let t = h.read(&mut m, 2, 0, 8);
+    m.clock[2] = t;
+    // P1 locks, writes page 0 (auto-updates flow to home 0), unlocks.
+    let t = h.lock(&mut m, 1, LockId(1)).expect("free");
+    m.clock[1] = t;
+    let t = h.write(&mut m, 1, 0, 8);
+    m.clock[1] = t;
+    let _ = h.unlock(&mut m, 1, LockId(1));
+    // P2 acquires: the notice invalidates its copy, exactly as in HLRC.
+    let _ = h.lock(&mut m, 2, LockId(1)).expect("free after release");
+    assert_eq!(h.page_state(2, 0), PageState::Invalid);
+    assert_eq!(m.counters()[2].write_notices, 1);
+}
+
+#[test]
+fn release_waits_for_update_drain() {
+    // With a pathologically slow network, the release time must track the
+    // last update's arrival.
+    let mut slow = CommParams::achievable();
+    slow.io_bus_rate = Some((1, 256)); // 1 byte per 256 cycles
+    let m = Machine::new(
+        2,
+        slow,
+        ProtoCosts::best(), // isolate the network effect
+        MemConfig::pentium_pro_like(),
+    );
+    let mut h = Hlrc::aurc();
+    h.init(
+        &m,
+        &WorldShape {
+            heap_bytes: 1 << 20,
+            nlocks: 1,
+            nbarriers: 1,
+        },
+    );
+    let mut m = m;
+    let t = h.write(&mut m, 0, PAGE_SIZE, 64);
+    m.clock[0] = t;
+    assert!(h.lock_table_mut().acquire(LockId(0), 0));
+    let release_done = h.unlock(&mut m, 0, LockId(0));
+    // The 80-byte update alone needs > 80 * 256 cycles of bus time; the
+    // release cannot complete before it drains.
+    assert!(
+        release_done > 20_000,
+        "release at {release_done} did not wait for the update drain"
+    );
+}
+
+#[test]
+fn aurc_beats_hlrc_on_migratory_lock_data() {
+    // The paper's motivation for automatic update: diff costs dominate for
+    // migratory data updated under locks. A tight lock-update loop across
+    // two nodes is cheaper under AURC.
+    let run = |mut h: Hlrc| {
+        let m = Machine::new(
+            2,
+            CommParams::achievable(),
+            ProtoCosts::original(),
+            MemConfig::pentium_pro_like(),
+        );
+        h.init(
+            &m,
+            &WorldShape {
+                heap_bytes: 1 << 20,
+                nlocks: 1,
+                nbarriers: 1,
+            },
+        );
+        let mut m = m;
+        let mut t = [0u64; 2];
+        for round in 0..6 {
+            let p = round % 2;
+            m.clock[p] = t[0].max(t[1]);
+            let g = h.lock(&mut m, p, LockId(0)).expect("handoff is sequential");
+            m.clock[p] = g;
+            let w = h.write(&mut m, p, PAGE_SIZE, 64);
+            m.clock[p] = w;
+            t[p] = h.unlock(&mut m, p, LockId(0));
+        }
+        t[0].max(t[1])
+    };
+    let hlrc = run(Hlrc::new());
+    let aurc = run(Hlrc::aurc());
+    assert!(
+        aurc < hlrc,
+        "AURC ({aurc}) should beat HLRC ({hlrc}) on migratory lock data"
+    );
+}
+
+#[test]
+fn end_to_end_suite_runs_under_aurc() {
+    use ssm_core::{Protocol as P, SimBuilder};
+    // A couple of full applications under AURC, verified.
+    let w = ssm_apps::fft::Fft::new(256);
+    let r = SimBuilder::new(P::Aurc).procs(4).run(&w);
+    assert!(r.verify_error.is_none(), "{:?}", r.verify_error);
+    assert_eq!(r.protocol, "AURC");
+    assert_eq!(r.counters.diffs, 0);
+    assert!(r.counters.auto_updates > 0);
+
+    let w = ssm_apps::water_nsq::WaterNsq::new(16, 2);
+    let r = SimBuilder::new(P::Aurc).procs(4).run(&w);
+    assert!(r.verify_error.is_none(), "{:?}", r.verify_error);
+}

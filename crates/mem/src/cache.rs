@@ -1,0 +1,240 @@
+//! A set-associative, LRU, write-back cache directory (tags + dirty bits
+//! only; the simulator is timing-directed and stores no data).
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero terms, capacity not a
+    /// multiple of `line * assoc`, or non-power-of-two line size).
+    pub fn sets(&self) -> usize {
+        assert!(self.size > 0 && self.line > 0 && self.assoc > 0);
+        assert!(self.line.is_power_of_two(), "line size must be a power of two");
+        let lines = self.size / self.line;
+        assert!(
+            lines.is_multiple_of(self.assoc) && lines > 0,
+            "capacity must be a whole number of sets"
+        );
+        lines / self.assoc
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// A set-associative LRU cache over 64-bit addresses.
+///
+/// # Example
+///
+/// ```rust
+/// use ssm_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig { size: 128, line: 32, assoc: 2 });
+/// assert!(!c.probe(0, false)); // cold
+/// c.fill(0, false);
+/// assert!(c.probe(0, false)); // warm
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets[s]` is ordered most-recently-used first.
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    line_shift: u32,
+}
+
+impl Cache {
+    /// Creates a cold cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let nsets = cfg.sets();
+        assert!(nsets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: vec![Vec::with_capacity(cfg.assoc); nsets],
+            set_mask: nsets as u64 - 1,
+            line_shift: cfg.line.trailing_zeros(),
+            cfg,
+        }
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line & self.set_mask) as usize, line >> self.sets.len().trailing_zeros())
+    }
+
+    /// Looks up `addr`; on a hit, refreshes LRU order and (for writes) sets
+    /// the dirty bit. Returns whether it hit.
+    pub fn probe(&mut self, addr: u64, write: bool) -> bool {
+        let (set, tag) = self.locate(addr);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|w| w.valid && w.tag == tag) {
+            let mut way = ways.remove(pos);
+            way.dirty |= write;
+            ways.insert(0, way);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Installs the line containing `addr` (MRU position). Returns
+    /// `Some(evicted_dirty)` if a valid line was evicted, `None` otherwise.
+    pub fn fill(&mut self, addr: u64, dirty: bool) -> Option<bool> {
+        let (set, tag) = self.locate(addr);
+        let assoc = self.cfg.assoc;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|w| w.valid && w.tag == tag) {
+            // Already present (e.g. refill after a race): refresh.
+            let mut way = ways.remove(pos);
+            way.dirty |= dirty;
+            ways.insert(0, way);
+            return None;
+        }
+        let evicted = if ways.len() >= assoc {
+            ways.pop().map(|w| w.dirty)
+        } else {
+            None
+        };
+        ways.insert(
+            0,
+            Way {
+                tag,
+                valid: true,
+                dirty,
+            },
+        );
+        evicted
+    }
+
+    /// Removes the line containing `addr` if present (no writeback: the
+    /// contents are assumed stale). Returns whether it was present.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|w| w.valid && w.tag == tag) {
+            ways.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 32 B lines = 256 B.
+        Cache::new(CacheConfig {
+            size: 256,
+            line: 32,
+            assoc: 2,
+        })
+    }
+
+    #[test]
+    fn sets_computation() {
+        let cfg = CacheConfig {
+            size: 8 << 10,
+            line: 32,
+            assoc: 2,
+        };
+        assert_eq!(cfg.sets(), 128);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        assert!(!c.probe(64, false));
+        assert_eq!(c.fill(64, false), None);
+        assert!(c.probe(64, false));
+        assert!(c.probe(95, false)); // same line
+        assert!(!c.probe(96, false)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Three lines mapping to set 0: line numbers 0, 4, 8 (4 sets).
+        c.fill(0, false);
+        c.fill(4 * 32, false);
+        // Touch line 0 so line 4 becomes LRU.
+        assert!(c.probe(0, false));
+        let evicted = c.fill(8 * 32, false);
+        assert_eq!(evicted, Some(false));
+        assert!(c.probe(0, false)); // survived
+        assert!(!c.probe(4 * 32, false)); // evicted
+        assert!(c.probe(8 * 32, false));
+    }
+
+    #[test]
+    fn dirty_bit_reported_on_eviction() {
+        let mut c = small();
+        c.fill(0, true);
+        c.fill(4 * 32, false);
+        let evicted = c.fill(8 * 32, false); // evicts line 0 (LRU, dirty)
+        assert_eq!(evicted, Some(true));
+    }
+
+    #[test]
+    fn write_probe_dirties() {
+        let mut c = small();
+        c.fill(0, false);
+        assert!(c.probe(0, true)); // line 0 now MRU and dirty
+        c.fill(4 * 32, false); // set: [4 (MRU), 0]
+        let evicted = c.fill(8 * 32, false); // evicts line 0 (dirtied)
+        assert_eq!(evicted, Some(true));
+        let evicted = c.fill(12 * 32, false); // evicts line 4 (clean)
+        assert_eq!(evicted, Some(false));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small();
+        c.fill(0, true);
+        assert!(c.invalidate(0));
+        assert!(!c.probe(0, false));
+        assert!(!c.invalidate(0));
+    }
+
+    #[test]
+    fn refill_refreshes_not_duplicates() {
+        let mut c = small();
+        c.fill(0, false);
+        c.fill(0, true); // refill same line
+        c.fill(4 * 32, false);
+        // Set 0 holds exactly 2 lines; a third fill must evict one.
+        let e = c.fill(8 * 32, false);
+        assert!(e.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn bad_geometry_rejected() {
+        let _ = Cache::new(CacheConfig {
+            size: 100,
+            line: 32,
+            assoc: 2,
+        });
+    }
+}

@@ -1,0 +1,429 @@
+//! Node memory-hierarchy model: L1/L2 caches, a write buffer and the memory
+//! bus — the per-node architecture of Figure 2 of the paper (a PentiumPro-
+//! like node).
+//!
+//! The hierarchy is *timing-directed*: it never stores data, only tags and
+//! dirty bits, and answers "how many cycles does this access stall the
+//! processor?". Application data lives in the shared store owned by
+//! `ssm-proto`; protocols call [`Hierarchy::touch_range`] to model the cache
+//! pollution caused by twinning/diffing, which the paper simulates
+//! explicitly ("cache pollution due to protocol processing is also
+//! included", §3.1).
+//!
+//! Defaults (see [`MemConfig::pentium_pro_like`]):
+//!
+//! * L1: 8 KB, 2-way, 32 B lines, hit folded into the 1-IPC busy time;
+//! * L2: 256 KB, 4-way, 32 B lines, 8-cycle hit;
+//! * memory: 60-cycle latency plus 32 B over a 2 bytes/cycle memory bus;
+//! * write buffer: 8 entries, retiring at the L2/memory (writes stall only
+//!   when the buffer is full).
+
+pub mod cache;
+
+pub use cache::{Cache, CacheConfig};
+
+use ssm_engine::{Cycles, Pipe};
+use std::collections::VecDeque;
+
+/// Configuration of a node's memory system.
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// First-level cache geometry.
+    pub l1: CacheConfig,
+    /// Second-level cache geometry.
+    pub l2: CacheConfig,
+    /// Extra cycles for an L2 hit (beyond the pipelined L1 path).
+    pub l2_hit_cycles: Cycles,
+    /// DRAM access latency in cycles (before bus occupancy).
+    pub mem_latency: Cycles,
+    /// Memory-bus bandwidth numerator/denominator in bytes per cycles.
+    pub bus_bytes: u64,
+    /// Memory-bus bandwidth denominator (cycles per `bus_bytes`).
+    pub bus_cycles: u64,
+    /// Write-buffer depth (writes stall only when full).
+    pub write_buffer: usize,
+}
+
+impl MemConfig {
+    /// The paper's PentiumPro-like node (Appendix): 8 KB 2-way L1, 256 KB
+    /// 4-way L2, 32 B lines everywhere, 60-cycle memory, 2 B/cycle bus,
+    /// 8-entry write buffer.
+    pub fn pentium_pro_like() -> Self {
+        MemConfig {
+            l1: CacheConfig {
+                size: 8 << 10,
+                line: 32,
+                assoc: 2,
+            },
+            l2: CacheConfig {
+                size: 256 << 10,
+                line: 32,
+                assoc: 4,
+            },
+            l2_hit_cycles: 8,
+            mem_latency: 60,
+            bus_bytes: 2,
+            bus_cycles: 1,
+            write_buffer: 8,
+        }
+    }
+
+    /// A tiny configuration for unit tests (256 B L1, 1 KB L2).
+    pub fn tiny() -> Self {
+        MemConfig {
+            l1: CacheConfig {
+                size: 256,
+                line: 32,
+                assoc: 1,
+            },
+            l2: CacheConfig {
+                size: 1024,
+                line: 32,
+                assoc: 2,
+            },
+            l2_hit_cycles: 8,
+            mem_latency: 60,
+            bus_bytes: 2,
+            bus_cycles: 1,
+            write_buffer: 2,
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::pentium_pro_like()
+    }
+}
+
+/// Hit/miss statistics for one hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Processor-issued accesses (reads + writes).
+    pub accesses: u64,
+    /// Accesses that hit in L1.
+    pub l1_hits: u64,
+    /// Accesses that missed L1 but hit L2.
+    pub l2_hits: u64,
+    /// Accesses that went to memory.
+    pub mem_accesses: u64,
+    /// Dirty-line writebacks to memory.
+    pub writebacks: u64,
+    /// Write-buffer full stalls.
+    pub wb_stalls: u64,
+}
+
+/// One node's two-level cache hierarchy plus write buffer and memory bus.
+///
+/// # Example
+///
+/// ```rust
+/// use ssm_mem::{Hierarchy, MemConfig};
+/// let mut h = Hierarchy::new(MemConfig::pentium_pro_like());
+/// let cold = h.read(0, 0x1000);   // cold miss: memory latency + bus
+/// assert!(cold > 60);
+/// let warm = h.read(1000, 0x1000); // now cached: free (L1 hit)
+/// assert_eq!(warm, 0);
+/// ```
+#[derive(Debug)]
+pub struct Hierarchy {
+    cfg: MemConfig,
+    l1: Cache,
+    l2: Cache,
+    bus: Pipe,
+    /// Retirement times of in-flight buffered writes.
+    wb: VecDeque<Cycles>,
+    stats: MemStats,
+}
+
+impl Hierarchy {
+    /// Creates an empty (cold) hierarchy.
+    pub fn new(cfg: MemConfig) -> Self {
+        Hierarchy {
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            bus: Pipe::new(cfg.bus_bytes, cfg.bus_cycles),
+            wb: VecDeque::new(),
+            cfg,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Cycles a *fill* from memory takes at `now` (latency + bus occupancy,
+    /// including queueing behind earlier transfers).
+    fn mem_fill(&mut self, now: Cycles) -> Cycles {
+        self.stats.mem_accesses += 1;
+        let line = self.cfg.l2.line as u64;
+        let done = self.bus.transfer(now + self.cfg.mem_latency, line);
+        done - now
+    }
+
+    fn writeback(&mut self, now: Cycles) {
+        self.stats.writebacks += 1;
+        let line = self.cfg.l2.line as u64;
+        // Writebacks occupy the bus but do not stall the processor.
+        let _ = self.bus.transfer(now, line);
+    }
+
+    /// Models a processor *read* of the line containing `addr`; returns the
+    /// stall cycles beyond the 1-IPC pipeline.
+    pub fn read(&mut self, now: Cycles, addr: u64) -> Cycles {
+        self.stats.accesses += 1;
+        if self.l1.probe(addr, false) {
+            self.stats.l1_hits += 1;
+            return 0;
+        }
+        if self.l2.probe(addr, false) {
+            self.stats.l2_hits += 1;
+            self.fill_l1(now, addr, false);
+            return self.cfg.l2_hit_cycles;
+        }
+        let stall = self.cfg.l2_hit_cycles + self.mem_fill(now);
+        self.fill_l2(now, addr, false);
+        self.fill_l1(now, addr, false);
+        stall
+    }
+
+    /// Models a processor *write*; returns stall cycles. Writes retire
+    /// through the write buffer, so they stall only when the buffer is full.
+    pub fn write(&mut self, now: Cycles, addr: u64) -> Cycles {
+        self.stats.accesses += 1;
+        // Retire completed buffered writes.
+        while let Some(&t) = self.wb.front() {
+            if t <= now {
+                self.wb.pop_front();
+            } else {
+                break;
+            }
+        }
+        let mut stall = 0;
+        let mut now = now;
+        if self.wb.len() >= self.cfg.write_buffer {
+            let t = self.wb.pop_front().expect("non-empty write buffer");
+            self.stats.wb_stalls += 1;
+            stall = t - now;
+            now = t;
+        }
+        // Determine how long the write takes to retire (in the background).
+        let retire = if self.l1.probe(addr, true) {
+            self.stats.l1_hits += 1;
+            now
+        } else if self.l2.probe(addr, true) {
+            self.stats.l2_hits += 1;
+            self.fill_l1(now, addr, true);
+            now + self.cfg.l2_hit_cycles
+        } else {
+            // Write-allocate: fetch the line, then write.
+            let fill = self.mem_fill(now);
+            self.fill_l2(now, addr, true);
+            self.fill_l1(now, addr, true);
+            now + self.cfg.l2_hit_cycles + fill
+        };
+        self.wb.push_back(retire);
+        stall
+    }
+
+    /// Models protocol code streaming over `[addr, addr+len)` (twin/diff
+    /// creation or application). Touches every line, polluting the caches,
+    /// and returns the total stall cycles the protocol engine incurs.
+    ///
+    /// `write` selects whether the lines are dirtied.
+    pub fn touch_range(&mut self, now: Cycles, addr: u64, len: u64, write: bool) -> Cycles {
+        if len == 0 {
+            return 0;
+        }
+        let line = self.cfg.l2.line as u64;
+        let first = addr / line;
+        let last = (addr + len - 1) / line;
+        let mut stall = 0;
+        for l in first..=last {
+            let a = l * line;
+            stall += if write {
+                self.write(now + stall, a)
+            } else {
+                self.read(now + stall, a)
+            };
+        }
+        stall
+    }
+
+    /// Models protocol code *streaming* over `[addr, addr+len)` — bulk
+    /// copies such as twin creation and diff creation/application. Unlike
+    /// [`Hierarchy::touch_range`], misses pipeline: the caller pays the
+    /// DRAM latency once plus bandwidth-limited bus occupancy for the
+    /// missed lines (plus a small per-line L2 cost for hits), instead of
+    /// the full miss latency per line. The caches are polluted exactly as
+    /// with per-line access (fills + evictions), which is the effect the
+    /// paper simulates for twinning/diffing.
+    pub fn stream_range(&mut self, now: Cycles, addr: u64, len: u64, write: bool) -> Cycles {
+        if len == 0 {
+            return 0;
+        }
+        let line = self.cfg.l2.line as u64;
+        let first = addr / line;
+        let last = (addr + len - 1) / line;
+        let mut missed_lines = 0u64;
+        let mut hit_lines = 0u64;
+        for l in first..=last {
+            let a = l * line;
+            self.stats.accesses += 1;
+            if self.l1.probe(a, write) {
+                self.stats.l1_hits += 1;
+                hit_lines += 1;
+            } else if self.l2.probe(a, write) {
+                self.stats.l2_hits += 1;
+                self.fill_l1(now, a, write);
+                hit_lines += 1;
+            } else {
+                self.stats.mem_accesses += 1;
+                self.fill_l2(now, a, write);
+                self.fill_l1(now, a, write);
+                missed_lines += 1;
+            }
+        }
+        let mut stall = 2 * hit_lines; // pipelined L2 throughput
+        if missed_lines > 0 {
+            let done = self
+                .bus
+                .transfer(now + self.cfg.mem_latency, missed_lines * line);
+            stall += done - now;
+        }
+        stall
+    }
+
+    /// Drops every line of `[addr, addr+len)` from both caches without
+    /// writing back (used when a page is invalidated by the protocol: its
+    /// cached contents are stale).
+    pub fn invalidate_range(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let line = self.cfg.l2.line as u64;
+        let first = addr / line;
+        let last = (addr + len - 1) / line;
+        for l in first..=last {
+            self.l1.invalidate(l * line);
+            self.l2.invalidate(l * line);
+        }
+    }
+
+    fn fill_l1(&mut self, _now: Cycles, addr: u64, dirty: bool) {
+        // L1 is write-through to L2 in this model: evicted dirty L1 lines
+        // are already in L2, so L1 evictions are silent.
+        let _ = self.l1.fill(addr, dirty);
+    }
+
+    fn fill_l2(&mut self, now: Cycles, addr: u64, dirty: bool) {
+        if let Some(evicted_dirty) = self.l2.fill(addr, dirty) {
+            if evicted_dirty {
+                self.writeback(now);
+            }
+            // Inclusive hierarchy: an L2 eviction removes the line from L1.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_read_then_hits() {
+        let mut h = Hierarchy::new(MemConfig::pentium_pro_like());
+        let cold = h.read(0, 4096);
+        // 8 (L2 probe path) + 60 (memory) + 16 (32 B over 2 B/cycle).
+        assert_eq!(cold, 8 + 60 + 16);
+        assert_eq!(h.read(100, 4096), 0);
+        assert_eq!(h.read(100, 4100), 0); // same 32 B line
+        let s = h.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.l1_hits, 2);
+        assert_eq!(s.mem_accesses, 1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let cfg = MemConfig::tiny(); // L1: 256 B direct-mapped, 8 lines
+        let mut h = Hierarchy::new(cfg);
+        h.read(0, 0); // line 0
+        h.read(200, 256); // maps to same L1 set (direct-mapped), evicts
+        let stall = h.read(400, 0); // L1 miss, L2 hit
+        assert_eq!(stall, 8);
+        assert_eq!(h.stats().l2_hits, 1);
+    }
+
+    #[test]
+    fn writes_use_buffer() {
+        let mut h = Hierarchy::new(MemConfig::pentium_pro_like());
+        // Two cold writes to distinct lines: both buffered, no stall.
+        assert_eq!(h.write(0, 0), 0);
+        assert_eq!(h.write(1, 64), 0);
+        assert_eq!(h.stats().wb_stalls, 0);
+    }
+
+    #[test]
+    fn write_buffer_full_stalls() {
+        let mut h = Hierarchy::new(MemConfig::tiny()); // depth 2
+        // Issue 3 cold writes at the same instant: the third must stall.
+        h.write(0, 0);
+        h.write(0, 64);
+        let stall = h.write(0, 128);
+        assert!(stall > 0);
+        assert_eq!(h.stats().wb_stalls, 1);
+    }
+
+    #[test]
+    fn touch_range_covers_all_lines() {
+        let mut h = Hierarchy::new(MemConfig::pentium_pro_like());
+        let stall = h.touch_range(0, 0, 4096, false);
+        assert!(stall > 0);
+        assert_eq!(h.stats().mem_accesses, 4096 / 32);
+        // A second pass hits (4 KB fits in the 256 KB L2 and 8 KB L1).
+        let stall2 = h.touch_range(10_000, 0, 4096, false);
+        assert_eq!(stall2, 0);
+    }
+
+    #[test]
+    fn invalidate_range_forces_refetch() {
+        let mut h = Hierarchy::new(MemConfig::pentium_pro_like());
+        h.read(0, 0);
+        assert_eq!(h.read(100, 0), 0);
+        h.invalidate_range(0, 32);
+        assert!(h.read(200, 0) > 0);
+    }
+
+    #[test]
+    fn touch_range_empty_is_free() {
+        let mut h = Hierarchy::new(MemConfig::pentium_pro_like());
+        assert_eq!(h.touch_range(0, 128, 0, true), 0);
+        assert_eq!(h.stats().accesses, 0);
+    }
+
+    #[test]
+    fn stream_is_much_cheaper_than_per_line_touch() {
+        let mut a = Hierarchy::new(MemConfig::pentium_pro_like());
+        let per_line = a.touch_range(0, 0, 4096, false);
+        let mut b = Hierarchy::new(MemConfig::pentium_pro_like());
+        let streamed = b.stream_range(0, 0, 4096, false);
+        assert!(streamed * 3 < per_line, "stream {streamed} vs touch {per_line}");
+        // Both pollute identically: a second streamed pass hits.
+        let warm = b.stream_range(10_000, 0, 4096, false);
+        assert_eq!(warm, 2 * (4096 / 32));
+        assert_eq!(b.stats().mem_accesses, 4096 / 32);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut h = Hierarchy::new(MemConfig::tiny()); // L2: 1 KB, 2-way, 32 B
+        // Dirty many distinct lines so L2 must evict dirty victims.
+        for i in 0..128u64 {
+            h.write(i * 1000, i * 32);
+        }
+        assert!(h.stats().writebacks > 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Protocol-layer cost parameters (the paper's Table 3).
+//!
+//! The paper varies these between three sets: **O**riginal (measured from
+//! their real HLRC implementation), **B**est (all zero — idealized hardware
+//! support), and **H**alfway. Per-word costs can be fractional in the
+//! halfway set, so they are kept as exact rationals ([`PerWord`]).
+
+use ssm_engine::Cycles;
+
+/// An exact per-word cost `num/den` cycles.
+///
+/// # Example
+///
+/// ```rust
+/// use ssm_proto::PerWord;
+/// let half = PerWord::new(1, 2);
+/// assert_eq!(half.cost(1024), 512);
+/// assert_eq!(PerWord::ZERO.cost(1024), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerWord {
+    num: u64,
+    den: u64,
+}
+
+impl PerWord {
+    /// A zero cost.
+    pub const ZERO: PerWord = PerWord { num: 0, den: 1 };
+
+    /// `num/den` cycles per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub const fn new(num: u64, den: u64) -> Self {
+        assert!(den > 0);
+        PerWord { num, den }
+    }
+
+    /// Total cycles for `words` words (rounded down; exact for the paper's
+    /// whole and half values on its page-sized operand counts).
+    pub fn cost(self, words: u64) -> Cycles {
+        words * self.num / self.den
+    }
+
+    /// Half of this cost (used to derive the halfway set).
+    pub fn halved(self) -> PerWord {
+        PerWord {
+            num: self.num,
+            den: self.den * 2,
+        }
+    }
+}
+
+/// Protocol cost parameters (Table 3 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoCosts {
+    /// Per-page cost of changing protection (the mprotect per-page charge).
+    pub page_protect: Cycles,
+    /// Fixed kernel-entry cost per mprotect call (covers a contiguous run
+    /// of pages).
+    pub mprotect_startup: Cycles,
+    /// Diff creation: cost per word *compared* (every word of the page).
+    pub diff_compare: PerWord,
+    /// Diff creation: additional cost per word *placed in the diff*.
+    pub diff_encode: PerWord,
+    /// Diff application at the home, per word applied.
+    pub diff_apply: PerWord,
+    /// Twin creation, per word copied.
+    pub twin: PerWord,
+    /// Base cost of running any protocol handler.
+    pub handler_base: Cycles,
+    /// Additional handler cost per list element traversed (write-notice
+    /// lists, sharer lists).
+    pub per_list_element: Cycles,
+}
+
+impl ProtoCosts {
+    /// The **O**riginal set, modelled on the paper's real implementation.
+    /// See DESIGN.md for the OCR-approximation notes.
+    pub fn original() -> Self {
+        ProtoCosts {
+            page_protect: 200,
+            mprotect_startup: 300,
+            diff_compare: PerWord::new(1, 1),
+            diff_encode: PerWord::new(1, 1),
+            diff_apply: PerWord::new(1, 1),
+            twin: PerWord::new(1, 1),
+            handler_base: 100,
+            per_list_element: 20,
+        }
+    }
+
+    /// The **B**est (idealized) set: every protocol action is free.
+    pub fn best() -> Self {
+        ProtoCosts {
+            page_protect: 0,
+            mprotect_startup: 0,
+            diff_compare: PerWord::ZERO,
+            diff_encode: PerWord::ZERO,
+            diff_apply: PerWord::ZERO,
+            twin: PerWord::ZERO,
+            handler_base: 0,
+            per_list_element: 0,
+        }
+    }
+
+    /// The **H**alfway set: every original cost halved.
+    pub fn halfway() -> Self {
+        let o = ProtoCosts::original();
+        ProtoCosts {
+            page_protect: o.page_protect / 2,
+            mprotect_startup: o.mprotect_startup / 2,
+            diff_compare: o.diff_compare.halved(),
+            diff_encode: o.diff_encode.halved(),
+            diff_apply: o.diff_apply.halved(),
+            twin: o.twin.halved(),
+            handler_base: o.handler_base / 2,
+            per_list_element: o.per_list_element / 2,
+        }
+    }
+
+    /// Cost of one mprotect call covering `pages` contiguous pages.
+    pub fn mprotect(&self, pages: u64) -> Cycles {
+        if pages == 0 {
+            0
+        } else {
+            self.mprotect_startup + self.page_protect * pages
+        }
+    }
+
+    /// Cost of a handler that traverses `list_elements` list entries.
+    pub fn handler(&self, list_elements: u64) -> Cycles {
+        self.handler_base + self.per_list_element * list_elements
+    }
+}
+
+impl Default for ProtoCosts {
+    fn default() -> Self {
+        ProtoCosts::original()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_WORDS;
+
+    #[test]
+    fn per_word_rational() {
+        assert_eq!(PerWord::new(3, 2).cost(10), 15);
+        assert_eq!(PerWord::new(1, 1).halved().cost(PAGE_WORDS), 512);
+    }
+
+    #[test]
+    fn halfway_is_half() {
+        let o = ProtoCosts::original();
+        let h = ProtoCosts::halfway();
+        assert_eq!(h.page_protect * 2, o.page_protect);
+        assert_eq!(h.handler_base * 2, o.handler_base);
+        assert_eq!(
+            h.diff_compare.cost(PAGE_WORDS) * 2,
+            o.diff_compare.cost(PAGE_WORDS)
+        );
+    }
+
+    #[test]
+    fn best_is_free() {
+        let b = ProtoCosts::best();
+        assert_eq!(b.mprotect(100), 0);
+        assert_eq!(b.handler(1000), 0);
+        assert_eq!(b.twin.cost(PAGE_WORDS), 0);
+    }
+
+    #[test]
+    fn mprotect_batches() {
+        let o = ProtoCosts::original();
+        assert_eq!(o.mprotect(0), 0);
+        assert_eq!(o.mprotect(1), 500);
+        assert_eq!(o.mprotect(3), 300 + 600);
+    }
+
+    #[test]
+    fn handler_lists() {
+        let o = ProtoCosts::original();
+        assert_eq!(o.handler(0), 100);
+        assert_eq!(o.handler(5), 200);
+    }
+}

@@ -1,0 +1,404 @@
+//! The simulated cluster: per-node CPUs, memory hierarchies, the network,
+//! cost parameters and all statistics — everything a [`crate::Protocol`]
+//! implementation charges time against.
+//!
+//! # Time-accounting conventions
+//!
+//! * Every node's CPU is a FIFO [`Resource`]: application computation,
+//!   protocol handlers and message-send overhead all occupy it, so protocol
+//!   service interferes with computation exactly as in the paper (polling
+//!   model: the handler cost is incurred once per incoming request).
+//! * Protocol work charges the [`Bucket::Protocol`] bucket *at the node
+//!   where it executes* — including service performed for other nodes.
+//! * The driver charges the *remainder* of each blocking operation's window
+//!   (total elapsed minus whatever the protocol charged to this processor
+//!   during the window) to the operation's designated bucket (data wait,
+//!   lock wait, barrier wait). See `ssm-core`.
+
+use ssm_engine::{Cycles, Resource};
+use ssm_mem::{Hierarchy, MemConfig};
+use ssm_net::{CommParams, Network};
+use ssm_stats::{Breakdown, Bucket, Counters, ProtoActivity};
+
+use crate::costs::ProtoCosts;
+
+/// Which detailed protocol-activity account a charge belongs to
+/// (Table 4's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Handler execution (request service, control, access faults).
+    Handler,
+    /// Diff creation.
+    DiffCreate,
+    /// Diff application.
+    DiffApply,
+    /// Twin creation.
+    Twin,
+    /// Page-protection changes.
+    Mprotect,
+}
+
+/// One protocol-level event captured when tracing is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle at which the event started.
+    pub time: Cycles,
+    /// Node the event occurred at.
+    pub node: usize,
+    /// Event class ("send", "handle", "proto").
+    pub label: &'static str,
+    /// Free-form detail (destination, byte count, activity…).
+    pub detail: String,
+}
+
+/// One simulated cluster's mutable state.
+#[derive(Debug)]
+pub struct Machine {
+    nprocs: usize,
+    /// Application-visible clock per processor.
+    pub clock: Vec<Cycles>,
+    cpu: Vec<Resource>,
+    hier: Vec<Hierarchy>,
+    net: Network,
+    costs: ProtoCosts,
+    comm: CommParams,
+    breakdown: Vec<Breakdown>,
+    activity: Vec<ProtoActivity>,
+    counters: Vec<Counters>,
+    wakeups: Vec<(usize, Cycles)>,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Machine {
+    /// Builds a cluster of `nprocs` uniprocessor nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs == 0`.
+    pub fn new(nprocs: usize, comm: CommParams, costs: ProtoCosts, mem: MemConfig) -> Self {
+        assert!(nprocs > 0, "need at least one processor");
+        Machine {
+            nprocs,
+            clock: vec![0; nprocs],
+            cpu: (0..nprocs).map(|_| Resource::new()).collect(),
+            hier: (0..nprocs).map(|_| Hierarchy::new(mem.clone())).collect(),
+            // The Network type needs >= 2 endpoints; a 1-processor run
+            // never sends, so give it a dummy second endpoint.
+            net: Network::new(nprocs.max(2), comm.clone()),
+            costs,
+            comm,
+            breakdown: vec![Breakdown::new(); nprocs],
+            activity: vec![ProtoActivity::default(); nprocs],
+            counters: vec![Counters::default(); nprocs],
+            wakeups: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Turns on protocol-event tracing (off by default: tracing allocates
+    /// per event).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Drains the captured trace (empty when tracing is off).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Records an event if tracing is enabled. `detail` is only evaluated
+    /// when it will be stored.
+    pub fn trace_event(
+        &mut self,
+        time: Cycles,
+        node: usize,
+        label: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceEvent {
+                time,
+                node,
+                label,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Protocol cost parameters.
+    pub fn costs(&self) -> &ProtoCosts {
+        &self.costs
+    }
+
+    /// Communication cost parameters.
+    pub fn comm(&self) -> &CommParams {
+        &self.comm
+    }
+
+    /// Per-processor execution-time breakdowns.
+    pub fn breakdowns(&self) -> &[Breakdown] {
+        &self.breakdown
+    }
+
+    /// Per-processor protocol-activity details.
+    pub fn activities(&self) -> &[ProtoActivity] {
+        &self.activity
+    }
+
+    /// Per-processor raw event counters.
+    pub fn counters(&self) -> &[Counters] {
+        &self.counters
+    }
+
+    /// Mutable access to one processor's counters.
+    pub fn counters_mut(&mut self, p: usize) -> &mut Counters {
+        &mut self.counters[p]
+    }
+
+    /// Charges `cycles` to `bucket` on processor `p` (no CPU occupancy).
+    pub fn charge(&mut self, p: usize, bucket: Bucket, cycles: Cycles) {
+        self.breakdown[p].add(bucket, cycles);
+    }
+
+    /// Occupies `p`'s CPU for `cycles` starting no earlier than `at`,
+    /// charging nothing; returns `(start, end)`. Used for application
+    /// compute (the driver charges Busy separately) and for send overhead
+    /// inside an application-initiated transaction (absorbed into the
+    /// operation's wait bucket by the window rule).
+    pub fn occupy_cpu(&mut self, p: usize, at: Cycles, cycles: Cycles) -> (Cycles, Cycles) {
+        self.cpu[p].acquire_span(at, cycles)
+    }
+
+    /// Runs protocol work of `cycles` on `p`'s CPU starting no earlier than
+    /// `at`; charges the Protocol bucket and the detailed `activity`
+    /// account; returns the completion time.
+    pub fn proto_work(&mut self, p: usize, at: Cycles, cycles: Cycles, what: Activity) -> Cycles {
+        let (_, end) = self.cpu[p].acquire_span(at, cycles);
+        self.breakdown[p].add(Bucket::Protocol, cycles);
+        let a = &mut self.activity[p];
+        match what {
+            Activity::Handler => a.handler += cycles,
+            Activity::DiffCreate => a.diff_create += cycles,
+            Activity::DiffApply => a.diff_apply += cycles,
+            Activity::Twin => a.twin += cycles,
+            Activity::Mprotect => a.mprotect += cycles,
+        }
+        end
+    }
+
+    /// Models protocol code streaming over memory at node `p` (twin/diff
+    /// work): pollutes `p`'s caches and charges the *pipelined* stall
+    /// cycles as protocol time under `what` (bulk protocol copies move at
+    /// memory bandwidth, not one cold miss per line). Returns the
+    /// completion time.
+    pub fn proto_touch(
+        &mut self,
+        p: usize,
+        at: Cycles,
+        addr: u64,
+        len: u64,
+        write: bool,
+        what: Activity,
+    ) -> Cycles {
+        let stall = self.hier[p].stream_range(at, addr, len, write);
+        if stall > 0 {
+            self.proto_work(p, at, stall, what)
+        } else {
+            at
+        }
+    }
+
+    /// Application-side memory access through `p`'s cache hierarchy;
+    /// charges stall cycles to CacheStall and returns the completion time.
+    pub fn cache_access(&mut self, p: usize, at: Cycles, addr: u64, len: u64, write: bool) -> Cycles {
+        let stall = self.hier[p].touch_range(at, addr, len, write);
+        if stall > 0 {
+            self.breakdown[p].add(Bucket::CacheStall, stall);
+            // The CPU is stalled: occupy it so handlers queue behind.
+            let (_, end) = self.cpu[p].acquire_span(at, stall);
+            end
+        } else {
+            at
+        }
+    }
+
+    /// Drops `[addr, addr+len)` from `p`'s caches (stale after protocol
+    /// invalidation).
+    pub fn cache_invalidate(&mut self, p: usize, addr: u64, len: u64) {
+        self.hier[p].invalidate_range(addr, len);
+    }
+
+    /// Cache statistics for node `p`.
+    pub fn mem_stats(&self, p: usize) -> ssm_mem::MemStats {
+        self.hier[p].stats()
+    }
+
+    /// Network statistics for node `p`.
+    pub fn net_stats(&self, p: usize) -> ssm_net::NiStats {
+        self.net.stats(p)
+    }
+
+    /// Total cycles node `p`'s CPU was occupied (app + protocol), for
+    /// utilization diagnostics.
+    pub fn cpu_busy(&self, p: usize) -> Cycles {
+        self.cpu[p].busy_cycles()
+    }
+
+    /// Sends a message from an *application-initiated* transaction on `src`
+    /// (e.g. a fault request): occupies the CPU for the host overhead
+    /// without charging a bucket (the window rule attributes it to the
+    /// operation's wait), then injects the message. Returns
+    /// `(local_done, arrival)`: when the sender's CPU is free again, and
+    /// when the message reaches `dst`.
+    pub fn send_from_app(&mut self, src: usize, at: Cycles, dst: usize, bytes: u64) -> (Cycles, Cycles) {
+        let (_, t) = self.cpu[src].acquire_span(at, self.comm.host_overhead);
+        self.counters[src].messages += 1;
+        self.counters[src].bytes += bytes;
+        self.trace_event(at, src, "send", || format!("app -> N{dst}, {bytes} B"));
+        (t, self.net.deliver(t, src, dst, bytes))
+    }
+
+    /// Sends a message from *handler context* on `src` (e.g. the home
+    /// replying with a page): host overhead occupies the CPU and is charged
+    /// as protocol time. Returns `(local_done, arrival)`: when the sender's
+    /// CPU is free again, and when the message reaches `dst`.
+    pub fn send_from_handler(&mut self, src: usize, at: Cycles, dst: usize, bytes: u64) -> (Cycles, Cycles) {
+        let t = self.proto_work(src, at, self.comm.host_overhead, Activity::Handler);
+        self.counters[src].messages += 1;
+        self.counters[src].bytes += bytes;
+        self.trace_event(at, src, "send", || format!("handler -> N{dst}, {bytes} B"));
+        (t, self.net.deliver(t, src, dst, bytes))
+    }
+
+    /// Sends a message generated by *hardware* at `src` (e.g. AURC's
+    /// automatic write propagation, snooped off the memory bus by the NI):
+    /// no host CPU involvement at either end — the message only occupies
+    /// the NI and buses. Returns the arrival time at `dst`.
+    pub fn send_hardware(&mut self, src: usize, at: Cycles, dst: usize, bytes: u64) -> Cycles {
+        self.counters[src].messages += 1;
+        self.counters[src].bytes += bytes;
+        self.trace_event(at, src, "send", || format!("hw-update -> N{dst}, {bytes} B"));
+        self.net.deliver(at, src, dst, bytes)
+    }
+
+    /// Dispatches a *request* handler on `node` for a message arriving at
+    /// `arrival`: charges the message-handling cost plus
+    /// `handler_base + per_list_element * list_elements`, all as protocol
+    /// time on `node`'s CPU. Returns the handler completion time.
+    pub fn handle_request(
+        &mut self,
+        node: usize,
+        arrival: Cycles,
+        list_elements: u64,
+    ) -> Cycles {
+        let cost = self.comm.msg_handling + self.costs.handler(list_elements);
+        self.trace_event(arrival, node, "handle", || {
+            format!("request handler, {list_elements} list elements")
+        });
+        self.proto_work(node, arrival, cost, Activity::Handler)
+    }
+
+    /// Schedules processor `p` (currently blocked in the driver) to resume
+    /// at time `t`.
+    pub fn wake(&mut self, p: usize, t: Cycles) {
+        self.wakeups.push((p, t));
+    }
+
+    /// Drains pending wakeups (driver-side).
+    pub fn take_wakeups(&mut self) -> Vec<(usize, Cycles)> {
+        std::mem::take(&mut self.wakeups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(n: usize) -> Machine {
+        Machine::new(
+            n,
+            CommParams::achievable(),
+            ProtoCosts::original(),
+            MemConfig::pentium_pro_like(),
+        )
+    }
+
+    #[test]
+    fn proto_work_charges_protocol_bucket() {
+        let mut mach = m(2);
+        let end = mach.proto_work(1, 100, 50, Activity::DiffCreate);
+        assert_eq!(end, 150);
+        assert_eq!(mach.breakdowns()[1].get(Bucket::Protocol), 50);
+        assert_eq!(mach.activities()[1].diff_create, 50);
+        assert_eq!(mach.breakdowns()[0].total(), 0);
+    }
+
+    #[test]
+    fn cpu_contention_between_app_and_handler() {
+        let mut mach = m(2);
+        // The app occupies [0, 100).
+        let (_, end) = mach.occupy_cpu(0, 0, 100);
+        assert_eq!(end, 100);
+        // A handler arriving at t=10 must wait for the CPU.
+        let done = mach.handle_request(0, 10, 0);
+        // 100 (CPU free) + 200 (msg handling) + 100 (handler base).
+        assert_eq!(done, 400);
+    }
+
+    #[test]
+    fn handler_list_cost() {
+        let mut mach = m(2);
+        let t0 = mach.handle_request(0, 0, 0);
+        let t1 = mach.handle_request(1, 0, 5);
+        assert_eq!(t0, 300);
+        assert_eq!(t1, 300 + 100); // 5 elements x 20 cycles
+    }
+
+    #[test]
+    fn send_from_app_does_not_charge_buckets() {
+        let mut mach = m(2);
+        let (local, arrival) = mach.send_from_app(0, 0, 1, 64);
+        assert_eq!(local, 600);
+        assert!(arrival > 600); // host overhead + network
+        assert_eq!(mach.breakdowns()[0].total(), 0);
+        assert_eq!(mach.counters()[0].messages, 1);
+    }
+
+    #[test]
+    fn send_from_handler_charges_protocol() {
+        let mut mach = m(2);
+        let _ = mach.send_from_handler(0, 0, 1, 64);
+        assert_eq!(mach.breakdowns()[0].get(Bucket::Protocol), 600);
+    }
+
+    #[test]
+    fn cache_access_charges_stall() {
+        let mut mach = m(2);
+        let end = mach.cache_access(0, 0, 0, 8, false);
+        assert!(end > 0);
+        assert!(mach.breakdowns()[0].get(Bucket::CacheStall) > 0);
+        // Warm: free.
+        let end2 = mach.cache_access(0, end, 0, 8, false);
+        assert_eq!(end2, end);
+    }
+
+    #[test]
+    fn wakeups_drain() {
+        let mut mach = m(2);
+        mach.wake(1, 500);
+        mach.wake(0, 300);
+        assert_eq!(mach.take_wakeups(), vec![(1, 500), (0, 300)]);
+        assert!(mach.take_wakeups().is_empty());
+    }
+
+    #[test]
+    fn single_proc_machine_works() {
+        let mach = m(1);
+        assert_eq!(mach.nprocs(), 1);
+    }
+}

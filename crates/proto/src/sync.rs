@@ -1,0 +1,249 @@
+//! Reusable synchronization bookkeeping for protocol implementations: a
+//! FIFO lock table and an episode-counting barrier table.
+//!
+//! These structures hold *semantic* state only (who holds what, who waits);
+//! the protocols decide what messages and costs each transition incurs.
+
+use crate::shmem::{BarrierId, LockId};
+
+/// State of one lock.
+#[derive(Debug, Clone, Default)]
+struct LockState {
+    holder: Option<usize>,
+    waiters: Vec<usize>, // FIFO
+}
+
+/// A FIFO lock table covering `LockId(0)..LockId(n)`.
+///
+/// # Example
+///
+/// ```rust
+/// use ssm_proto::{LockTable, LockId};
+/// let mut t = LockTable::new(1);
+/// assert!(t.acquire(LockId(0), 3));        // granted immediately
+/// assert!(!t.acquire(LockId(0), 5));       // queued
+/// assert_eq!(t.release(LockId(0), 3), Some(5)); // handed to the waiter
+/// assert_eq!(t.release(LockId(0), 5), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockTable {
+    locks: Vec<LockState>,
+}
+
+impl LockTable {
+    /// Creates a table of `n` free locks.
+    pub fn new(n: usize) -> Self {
+        LockTable {
+            locks: vec![LockState::default(); n],
+        }
+    }
+
+    /// Number of locks.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+
+    /// Attempts to acquire for processor `p`. Returns `true` if granted
+    /// immediately, `false` if `p` was queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` already holds or already waits for the lock.
+    pub fn acquire(&mut self, lock: LockId, p: usize) -> bool {
+        let s = &mut self.locks[lock.0 as usize];
+        assert_ne!(s.holder, Some(p), "recursive lock acquire by P{p}");
+        assert!(!s.waiters.contains(&p), "duplicate lock wait by P{p}");
+        if s.holder.is_none() {
+            s.holder = Some(p);
+            true
+        } else {
+            s.waiters.push(p);
+            false
+        }
+    }
+
+    /// Releases the lock held by `p`. Returns the next holder if a waiter
+    /// was queued (the lock is handed over directly, FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` does not hold the lock.
+    pub fn release(&mut self, lock: LockId, p: usize) -> Option<usize> {
+        let s = &mut self.locks[lock.0 as usize];
+        assert_eq!(s.holder, Some(p), "P{p} released a lock it does not hold");
+        if s.waiters.is_empty() {
+            s.holder = None;
+            None
+        } else {
+            let next = s.waiters.remove(0);
+            s.holder = Some(next);
+            Some(next)
+        }
+    }
+
+    /// Current holder of `lock`, if any.
+    pub fn holder(&self, lock: LockId) -> Option<usize> {
+        self.locks[lock.0 as usize].holder
+    }
+
+    /// Number of processors queued on `lock`.
+    pub fn waiters(&self, lock: LockId) -> usize {
+        self.locks[lock.0 as usize].waiters.len()
+    }
+}
+
+/// State of one barrier.
+#[derive(Debug, Clone, Default)]
+struct BarrierState {
+    arrived: Vec<usize>,
+    episode: u64,
+}
+
+/// An episode-counting barrier table covering `BarrierId(0)..BarrierId(n)`.
+///
+/// # Example
+///
+/// ```rust
+/// use ssm_proto::{BarrierTable, BarrierId};
+/// let mut t = BarrierTable::new(1, 2);
+/// assert_eq!(t.arrive(BarrierId(0), 0), None);
+/// assert_eq!(t.arrive(BarrierId(0), 1), Some(vec![0, 1]));
+/// assert_eq!(t.episodes(BarrierId(0)), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarrierTable {
+    barriers: Vec<BarrierState>,
+    nprocs: usize,
+}
+
+impl BarrierTable {
+    /// Creates a table of `n` barriers for `nprocs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs == 0`.
+    pub fn new(n: usize, nprocs: usize) -> Self {
+        assert!(nprocs > 0);
+        BarrierTable {
+            barriers: vec![BarrierState::default(); n],
+            nprocs,
+        }
+    }
+
+    /// Number of barriers.
+    pub fn len(&self) -> usize {
+        self.barriers.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.barriers.is_empty()
+    }
+
+    /// Records `p`'s arrival. Returns `Some(arrival_order)` — every
+    /// processor in arrival order — if `p` completed the episode (the
+    /// barrier then resets for reuse), `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` arrives twice in one episode.
+    pub fn arrive(&mut self, barrier: BarrierId, p: usize) -> Option<Vec<usize>> {
+        let s = &mut self.barriers[barrier.0 as usize];
+        assert!(
+            !s.arrived.contains(&p),
+            "P{p} arrived twice at barrier {barrier:?}"
+        );
+        s.arrived.push(p);
+        if s.arrived.len() == self.nprocs {
+            s.episode += 1;
+            Some(std::mem::take(&mut s.arrived))
+        } else {
+            None
+        }
+    }
+
+    /// How many processors are currently waiting at `barrier`.
+    pub fn waiting(&self, barrier: BarrierId) -> usize {
+        self.barriers[barrier.0 as usize].arrived.len()
+    }
+
+    /// Completed episodes of `barrier`.
+    pub fn episodes(&self, barrier: BarrierId) -> u64 {
+        self.barriers[barrier.0 as usize].episode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_fifo_handover() {
+        let mut t = LockTable::new(2);
+        assert!(t.acquire(LockId(1), 0));
+        assert!(!t.acquire(LockId(1), 1));
+        assert!(!t.acquire(LockId(1), 2));
+        assert_eq!(t.waiters(LockId(1)), 2);
+        assert_eq!(t.release(LockId(1), 0), Some(1));
+        assert_eq!(t.holder(LockId(1)), Some(1));
+        assert_eq!(t.release(LockId(1), 1), Some(2));
+        assert_eq!(t.release(LockId(1), 2), None);
+        assert_eq!(t.holder(LockId(1)), None);
+    }
+
+    #[test]
+    fn independent_locks() {
+        let mut t = LockTable::new(2);
+        assert!(t.acquire(LockId(0), 0));
+        assert!(t.acquire(LockId(1), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn release_without_hold_panics() {
+        let mut t = LockTable::new(1);
+        let _ = t.release(LockId(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "recursive")]
+    fn recursive_acquire_panics() {
+        let mut t = LockTable::new(1);
+        assert!(t.acquire(LockId(0), 0));
+        let _ = t.acquire(LockId(0), 0);
+    }
+
+    #[test]
+    fn barrier_reuse_across_episodes() {
+        let mut t = BarrierTable::new(1, 3);
+        assert_eq!(t.arrive(BarrierId(0), 2), None);
+        assert_eq!(t.arrive(BarrierId(0), 0), None);
+        assert_eq!(t.waiting(BarrierId(0)), 2);
+        assert_eq!(t.arrive(BarrierId(0), 1), Some(vec![2, 0, 1]));
+        assert_eq!(t.waiting(BarrierId(0)), 0);
+        // Second episode works after reset.
+        assert_eq!(t.arrive(BarrierId(0), 0), None);
+        assert_eq!(t.arrive(BarrierId(0), 1), None);
+        assert!(t.arrive(BarrierId(0), 2).is_some());
+        assert_eq!(t.episodes(BarrierId(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_panics() {
+        let mut t = BarrierTable::new(1, 3);
+        let _ = t.arrive(BarrierId(0), 0);
+        let _ = t.arrive(BarrierId(0), 0);
+    }
+
+    #[test]
+    fn single_proc_barrier_completes_immediately() {
+        let mut t = BarrierTable::new(1, 1);
+        assert_eq!(t.arrive(BarrierId(0), 0), Some(vec![0]));
+    }
+}

@@ -1,0 +1,177 @@
+//! The programming-model API that application code runs against.
+//!
+//! Applications are ordinary Rust functions that receive a [`Proc`] — the
+//! handle for "this simulated processor". Every shared-memory access, lock,
+//! barrier and block of computation goes through it; each call may hand the
+//! baton to the simulator (see `ssm-engine::threads`).
+//!
+//! `compute` calls are *accumulated* locally and flushed on the next real
+//! operation, so tight loops that interleave arithmetic with shared reads
+//! cost only one baton handover per shared access.
+
+use std::cell::Cell;
+
+use ssm_engine::Yielder;
+
+use crate::shmem::{BarrierId, LockId};
+
+/// An operation yielded by an application thread to the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// The processor computes for `c` cycles (1-IPC model: `c` instructions).
+    Compute(u64),
+    /// Read `bytes` bytes at `addr` in the shared address space.
+    Read { addr: u64, bytes: u64 },
+    /// Write `bytes` bytes at `addr` in the shared address space.
+    Write { addr: u64, bytes: u64 },
+    /// Acquire a lock.
+    Lock(LockId),
+    /// Release a lock.
+    Unlock(LockId),
+    /// Enter a barrier episode.
+    Barrier(BarrierId),
+}
+
+/// The per-processor handle passed to application code.
+pub struct Proc<'a> {
+    y: &'a Yielder<Op>,
+    pid: usize,
+    nprocs: usize,
+    pending: Cell<u64>,
+}
+
+impl<'a> Proc<'a> {
+    /// Wraps a yielder; used by the simulation driver when spawning
+    /// application threads.
+    pub fn new(y: &'a Yielder<Op>, pid: usize, nprocs: usize) -> Self {
+        Proc {
+            y,
+            pid,
+            nprocs,
+            pending: Cell::new(0),
+        }
+    }
+
+    /// This processor's id, `0..nprocs`.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Number of processors in the run.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Charges `cycles` of computation (deferred until the next operation).
+    pub fn compute(&self, cycles: u64) {
+        self.pending.set(self.pending.get() + cycles);
+    }
+
+    /// Flushes deferred computation; called automatically before any other
+    /// operation and by the driver when the thread body returns.
+    pub fn flush(&self) {
+        let c = self.pending.replace(0);
+        if c > 0 {
+            self.y.yield_op(Op::Compute(c));
+        }
+    }
+
+    /// Simulated shared-memory read of `[addr, addr+bytes)`.
+    pub fn touch_read(&self, addr: u64, bytes: u64) {
+        self.flush();
+        self.y.yield_op(Op::Read { addr, bytes });
+    }
+
+    /// Simulated shared-memory write of `[addr, addr+bytes)`.
+    pub fn touch_write(&self, addr: u64, bytes: u64) {
+        self.flush();
+        self.y.yield_op(Op::Write { addr, bytes });
+    }
+
+    /// Acquires `lock` (blocks in simulated time until granted).
+    pub fn lock(&self, lock: LockId) {
+        self.flush();
+        self.y.yield_op(Op::Lock(lock));
+    }
+
+    /// Releases `lock`.
+    pub fn unlock(&self, lock: LockId) {
+        self.flush();
+        self.y.yield_op(Op::Unlock(lock));
+    }
+
+    /// Enters `barrier`; returns when all processors have arrived.
+    pub fn barrier(&self, barrier: BarrierId) {
+        self.flush();
+        self.y.yield_op(Op::Barrier(barrier));
+    }
+
+    /// Convenience: run `f` under `lock`.
+    pub fn with_lock<R>(&self, lock: LockId, f: impl FnOnce() -> R) -> R {
+        self.lock(lock);
+        let r = f();
+        self.unlock(lock);
+        r
+    }
+}
+
+impl std::fmt::Debug for Proc<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proc")
+            .field("pid", &self.pid)
+            .field("nprocs", &self.nprocs)
+            .field("pending_compute", &self.pending.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssm_engine::{Resumed, ThreadPool};
+
+    #[test]
+    fn compute_batches_until_flush() {
+        let mut pool: ThreadPool<Op> = ThreadPool::new();
+        let t = pool.spawn(|y| {
+            let p = Proc::new(y, 0, 1);
+            p.compute(10);
+            p.compute(5);
+            p.touch_read(0, 4); // flush(15) then read
+            p.compute(3);
+            p.flush();
+        });
+        assert_eq!(pool.resume(t), Resumed::Op(Op::Compute(15)));
+        assert_eq!(pool.resume(t), Resumed::Op(Op::Read { addr: 0, bytes: 4 }));
+        assert_eq!(pool.resume(t), Resumed::Op(Op::Compute(3)));
+        assert_eq!(pool.resume(t), Resumed::Finished);
+    }
+
+    #[test]
+    fn lock_ops_in_order() {
+        let mut pool: ThreadPool<Op> = ThreadPool::new();
+        let t = pool.spawn(|y| {
+            let p = Proc::new(y, 2, 4);
+            assert_eq!(p.pid(), 2);
+            assert_eq!(p.nprocs(), 4);
+            p.with_lock(LockId(7), || {});
+            p.barrier(BarrierId(1));
+        });
+        assert_eq!(pool.resume(t), Resumed::Op(Op::Lock(LockId(7))));
+        assert_eq!(pool.resume(t), Resumed::Op(Op::Unlock(LockId(7))));
+        assert_eq!(pool.resume(t), Resumed::Op(Op::Barrier(BarrierId(1))));
+        assert_eq!(pool.resume(t), Resumed::Finished);
+    }
+
+    #[test]
+    fn zero_compute_is_elided() {
+        let mut pool: ThreadPool<Op> = ThreadPool::new();
+        let t = pool.spawn(|y| {
+            let p = Proc::new(y, 0, 1);
+            p.compute(0);
+            p.touch_write(8, 8);
+        });
+        assert_eq!(pool.resume(t), Resumed::Op(Op::Write { addr: 8, bytes: 8 }));
+        assert_eq!(pool.resume(t), Resumed::Finished);
+    }
+}

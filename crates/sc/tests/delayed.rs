@@ -1,0 +1,117 @@
+#![allow(clippy::needless_range_loop)] // p is a processor id, not an index choice
+//! Delayed / eager-release-consistency mode tests.
+
+use ssm_core::{Protocol as P, SimBuilder};
+use ssm_mem::MemConfig;
+use ssm_net::CommParams;
+use ssm_proto::{LockId, Machine, ProtoCosts, Protocol, WorldShape, PAGE_SIZE};
+use ssm_sc::{BlockState, Sc, ScMode};
+
+fn setup(nprocs: usize) -> (Machine, Sc) {
+    let m = Machine::new(
+        nprocs,
+        CommParams::achievable(),
+        ProtoCosts::original(),
+        MemConfig::pentium_pro_like(),
+    );
+    let mut sc = Sc::delayed(64);
+    sc.init(
+        &m,
+        &WorldShape {
+            heap_bytes: 1 << 20,
+            nlocks: 2,
+            nbarriers: 1,
+        },
+    );
+    (m, sc)
+}
+
+#[test]
+fn mode_and_name() {
+    let (_, sc) = setup(2);
+    assert_eq!(sc.mode(), ScMode::DelayedRc);
+    assert_eq!(sc.name(), "SC-delayed");
+    assert_eq!(Sc::new(64).mode(), ScMode::Sequential);
+}
+
+#[test]
+fn writes_buffer_until_release() {
+    let (mut m, mut sc) = setup(3);
+    let b = PAGE_SIZE / 64; // block of page 1, home node 1
+    // P2 reads the block (shared copy).
+    let t = sc.read(&mut m, 2, PAGE_SIZE, 8);
+    m.clock[2] = t;
+    // P0 writes it: under delayed RC this is local (after the fetch) and
+    // P2 is NOT yet invalidated.
+    let t = sc.write(&mut m, 0, PAGE_SIZE, 8);
+    m.clock[0] = t;
+    assert_eq!(sc.block_state(2, b), BlockState::Shared);
+    assert_eq!(m.counters()[2].invalidations, 0);
+    // P0 releases: the flush reaches the home and invalidates P2.
+    assert!(sc.lock_table_mut().acquire(LockId(0), 0));
+    let _ = sc.unlock(&mut m, 0, LockId(0));
+    assert_eq!(sc.block_state(2, b), BlockState::Invalid);
+    assert_eq!(m.counters()[2].invalidations, 1);
+}
+
+#[test]
+fn delayed_beats_sc_on_write_write_false_sharing() {
+    // Two processors repeatedly write different words of the same block;
+    // sequential consistency ping-pongs ownership on every write, delayed
+    // RC pays once per release.
+    let run = |mut sc: Sc| {
+        let m = Machine::new(
+            3,
+            CommParams::achievable(),
+            ProtoCosts::original(),
+            MemConfig::pentium_pro_like(),
+        );
+        sc.init(
+            &m,
+            &WorldShape {
+                heap_bytes: 1 << 20,
+                nlocks: 2,
+                nbarriers: 1,
+            },
+        );
+        let mut m = m;
+        let mut t = [0u64; 3];
+        for round in 0..8 {
+            for p in 1..3usize {
+                m.clock[p] = t[p];
+                t[p] = sc.write(&mut m, p, PAGE_SIZE + (p as u64) * 8 + round, 4);
+            }
+        }
+        // Both release once at the end (distinct locks: no queueing).
+        for p in 1..3usize {
+            m.clock[p] = t[p];
+            assert!(sc.lock_table_mut().acquire(LockId(p as u32 - 1), p));
+            t[p] = sc.unlock(&mut m, p, LockId(p as u32 - 1));
+        }
+        t[1].max(t[2])
+    };
+    let seq = run(Sc::new(64));
+    let delayed = run(Sc::delayed(64));
+    assert!(
+        delayed < seq,
+        "delayed RC ({delayed}) should beat SC ({seq}) under write-write false sharing"
+    );
+}
+
+#[test]
+fn suite_verifies_under_delayed_rc() {
+    let cases: Vec<(Box<dyn ssm_proto::Workload>, u64)> = vec![
+        (Box::new(ssm_apps::ocean::Ocean::contiguous(16, 2)), 1024),
+        (Box::new(ssm_apps::radix::Radix::original(512)), 64),
+        (Box::new(ssm_apps::water_nsq::WaterNsq::new(16, 2)), 64),
+        (Box::new(ssm_apps::barnes::Barnes::original(32, 1)), 64),
+    ];
+    for (w, block) in cases {
+        let r = SimBuilder::new(P::ScDelayed)
+            .procs(4)
+            .sc_block(block)
+            .run(w.as_ref());
+        assert!(r.verify_error.is_none(), "{}: {:?}", w.name(), r.verify_error);
+        assert_eq!(r.protocol, "SC-delayed");
+    }
+}

@@ -1,0 +1,54 @@
+//! Application-layer restructuring: run each original/restructured pair
+//! and show what restructuring buys under page-based SVM (the paper §4.2).
+//!
+//! ```text
+//! cargo run --release --example restructuring
+//! ```
+
+use ssm::apps::catalog::{by_name, Scale};
+use ssm::core::{sequential_baseline, Protocol, SimBuilder};
+use ssm::stats::Table;
+
+fn main() {
+    let nprocs = 8;
+    println!("Original vs restructured under HLRC, base (AO) system, {nprocs} processors\n");
+    let mut table = Table::new(vec![
+        "application",
+        "orig speedup",
+        "rest speedup",
+        "orig locks",
+        "rest locks",
+        "orig msgs",
+        "rest msgs",
+    ]);
+    for (orig, rest) in [
+        ("Ocean-Contiguous", "Ocean-rowwise"),
+        ("Radix", "Radix-Local"),
+        ("Barnes-original", "Barnes-Spatial"),
+        ("Volrend", "Volrend-rest"),
+    ] {
+        let run = |name: &str| {
+            let spec = by_name(name).expect("known app");
+            let w = spec.build(Scale::Test);
+            let seq = sequential_baseline(w.as_ref()).total_cycles;
+            let r = SimBuilder::new(Protocol::Hlrc)
+                .procs(nprocs)
+                .run(w.as_ref())
+                .expect_verified();
+            (r.speedup(seq), r.counters.lock_acquires, r.counters.messages)
+        };
+        let (so, lo, mo) = run(orig);
+        let (sr, lr, mr) = run(rest);
+        table.row(vec![
+            orig.to_string(),
+            format!("{so:.2}"),
+            format!("{sr:.2}"),
+            lo.to_string(),
+            lr.to_string(),
+            mo.to_string(),
+            mr.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("(Test-scale inputs; run the ssm-bench figure3 binary for the full data.)");
+}

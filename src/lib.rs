@@ -1,0 +1,54 @@
+//! `ssm` — a full reproduction of *"Limits to the Performance of Software
+//! Shared Memory: A Layered Approach"* (Singh, Bilas, Jiang, Zhou — HPCA
+//! 1999) as a Rust library.
+//!
+//! The paper decomposes software shared memory on clusters into three
+//! layers — application, protocol and communication — and studies how end
+//! application performance responds to varying the *cost parameters* of each
+//! layer individually and together, for two protocol families:
+//!
+//! * **HLRC** — page-based shared virtual memory under home-based lazy
+//!   release consistency ([`hlrc`]),
+//! * **SC** — fine/variable-grained sequentially-consistent software DSM
+//!   with (assumed free) hardware access control ([`sc`]).
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`engine`] | `ssm-engine` | discrete-event core + execution-driven threads |
+//! | [`mem`] | `ssm-mem` | node memory hierarchy (L1/L2/write buffer/bus) |
+//! | [`net`] | `ssm-net` | Myrinet-like cluster network + fast messaging |
+//! | [`proto`] | `ssm-proto` | DSM substrate: address space, sync, cost model |
+//! | [`hlrc`] | `ssm-hlrc` | the HLRC SVM protocol |
+//! | [`sc`] | `ssm-sc` | the fine-grained SC protocol |
+//! | [`core`] | `ssm-core` | simulation builder, layer presets, reports |
+//! | [`apps`] | `ssm-apps` | SPLASH-2-style application suite |
+//! | [`stats`] | `ssm-stats` | time breakdowns and table formatting |
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use ssm::core::{CommPreset, ProtoPreset, Protocol, SimBuilder};
+//! use ssm::apps::{fft::Fft, Workload};
+//!
+//! // Run a small FFT on 4 processors under HLRC at the paper's base (AO)
+//! // configuration and print the speedup-relevant totals.
+//! let app = Fft::new(256);
+//! let result = SimBuilder::new(Protocol::Hlrc)
+//!     .procs(4)
+//!     .comm(CommPreset::Achievable.params())
+//!     .proto(ProtoPreset::Original.costs())
+//!     .run(&app);
+//! assert!(result.total_cycles > 0);
+//! ```
+
+pub use ssm_apps as apps;
+pub use ssm_core as core;
+pub use ssm_engine as engine;
+pub use ssm_hlrc as hlrc;
+pub use ssm_mem as mem;
+pub use ssm_net as net;
+pub use ssm_proto as proto;
+pub use ssm_sc as sc;
+pub use ssm_stats as stats;

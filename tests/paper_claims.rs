@@ -1,0 +1,189 @@
+//! Qualitative regression tests for the paper's headline conclusions,
+//! encoded at small (fast) scale. These guard the *shape* of the
+//! reproduction: if a refactor flips who wins or kills a sensitivity, a
+//! test here fails.
+
+use ssm::apps::catalog::by_name;
+use ssm::apps::ocean::Ocean;
+use ssm::apps::radix::Radix;
+use ssm::apps::water_nsq::WaterNsq;
+use ssm::core::{Protocol, SimBuilder};
+use ssm::net::CommParams;
+use ssm::proto::Workload;
+
+fn run_hlrc(w: &dyn Workload, comm: CommParams, procs: usize) -> u64 {
+    SimBuilder::new(Protocol::Hlrc)
+        .procs(procs)
+        .comm(comm)
+        .run(w)
+        .expect_verified()
+        .total_cycles
+}
+
+fn run_sc(w: &dyn Workload, comm: CommParams, procs: usize, block: u64) -> u64 {
+    SimBuilder::new(Protocol::Sc)
+        .procs(procs)
+        .comm(comm)
+        .sc_block(block)
+        .run(w)
+        .expect_verified()
+        .total_cycles
+}
+
+/// §5 conclusion (iv): among communication parameters, HLRC's greatest
+/// dependence is on bandwidth — doubling bandwidth helps it more than
+/// removing the host overhead entirely.
+#[test]
+fn hlrc_depends_mostly_on_bandwidth() {
+    let mk = || Ocean::contiguous(32, 2);
+    let base = run_hlrc(&mk(), CommParams::achievable(), 4);
+    let mut more_bw = CommParams::achievable();
+    more_bw.io_bus_rate = Some((2, 1)); // 4x bandwidth
+    let bw = run_hlrc(&mk(), more_bw, 4);
+    let mut no_overhead = CommParams::achievable();
+    no_overhead.host_overhead = 0;
+    let oh = run_hlrc(&mk(), no_overhead, 4);
+    assert!(bw < base, "bandwidth must help HLRC");
+    assert!(
+        bw < oh,
+        "bandwidth (t={bw}) should help HLRC more than host overhead (t={oh})"
+    );
+}
+
+/// §5 conclusion: fine-grained SC depends mostly on overhead and
+/// occupancy — removing them helps more than quadrupling bandwidth.
+#[test]
+fn sc_depends_mostly_on_overhead_and_occupancy() {
+    let mk = || Ocean::contiguous(32, 2);
+    let mut no_cost = CommParams::achievable();
+    no_cost.host_overhead = 0;
+    no_cost.ni_occupancy = 0;
+    let oh = run_sc(&mk(), no_cost, 4, 64);
+    let mut more_bw = CommParams::achievable();
+    more_bw.io_bus_rate = Some((2, 1));
+    let bw = run_sc(&mk(), more_bw, 4, 64);
+    assert!(
+        oh < bw,
+        "overhead+occupancy (t={oh}) should dominate bandwidth (t={bw}) for fine-grained SC"
+    );
+}
+
+/// §4.3/Table: SC must run regular applications at coarse granularity —
+/// FFT at 64 B is substantially worse than at 4 KB (the paper: "we have
+/// found using a finer granularity to perform substantially worse").
+#[test]
+fn sc_fft_needs_coarse_granularity() {
+    // At this reduced size the matrix rows are 1 KB, so 1 KB is the
+    // "coarse" point (the full 4 KB claim holds at paper scale; see the
+    // `ablation` harness binary).
+    let coarse = run_sc(&ssm::apps::fft::Fft::new(4096), CommParams::achievable(), 4, 1024);
+    let fine = run_sc(&ssm::apps::fft::Fft::new(4096), CommParams::achievable(), 4, 64);
+    assert!(
+        fine > coarse * 2,
+        "fine-grain FFT (t={fine}) should be at least 2x slower than coarse (t={coarse})"
+    );
+}
+
+/// §4.3: Radix is catastrophic under page-based SVM at the base system —
+/// slowdown, not speedup — and the restructured Radix-Local recovers a
+/// large factor.
+#[test]
+fn radix_collapses_and_restructuring_recovers() {
+    let n = 1 << 16; // large enough for the permutation traffic to dominate
+    let seq = ssm::core::sequential_baseline(&Radix::original(n)).total_cycles;
+    let orig = run_hlrc(&Radix::original(n), CommParams::achievable(), 16);
+    let local = run_hlrc(&Radix::local(n), CommParams::achievable(), 16);
+    assert!(orig > seq, "Radix under HLRC should be a slowdown at base");
+    assert!(
+        local * 2 < orig,
+        "Radix-Local (t={local}) should be at least 2x faster than Radix (t={orig})"
+    );
+}
+
+/// §4.4: Radix's problem is bandwidth/contention — the better-than-best
+/// network (B+) helps it far more than zero protocol costs do. (The
+/// paper's absolute rescue factor is larger — its Radix uses radix 1024
+/// on 1M keys — but the direction and ordering are the claim here; see
+/// EXPERIMENTS.md.)
+#[test]
+fn radix_needs_the_better_than_best_network() {
+    let mk = || Radix::original(1 << 16);
+    let ao = run_hlrc(&mk(), CommParams::achievable(), 16);
+    let bplus = run_hlrc(&mk(), CommParams::better_than_best(), 16);
+    let ab = SimBuilder::new(Protocol::Hlrc)
+        .procs(16)
+        .proto(ssm::proto::ProtoCosts::best())
+        .run(&mk())
+        .expect_verified()
+        .total_cycles;
+    assert!(
+        (bplus as f64) * 1.3 < ao as f64,
+        "B+ should substantially help Radix: {bplus} vs {ao}"
+    );
+    assert!(
+        bplus < ab,
+        "network (t={bplus}) matters more than protocol costs (t={ab}) for Radix"
+    );
+}
+
+/// §4.2: restructuring Barnes away from locks dramatically cuts lock
+/// traffic and improves HLRC time at the base system.
+#[test]
+fn barnes_restructuring_wins_under_hlrc() {
+    let orig = by_name("Barnes-original").expect("app");
+    let rest = by_name("Barnes-Spatial").expect("app");
+    let wo = orig.build(ssm::apps::catalog::Scale::Test);
+    let wr = rest.build(ssm::apps::catalog::Scale::Test);
+    let ro = SimBuilder::new(Protocol::Hlrc).procs(4).run(wo.as_ref()).expect_verified();
+    let rr = SimBuilder::new(Protocol::Hlrc).procs(4).run(wr.as_ref()).expect_verified();
+    assert!(
+        rr.total_cycles < ro.total_cycles,
+        "Barnes-Spatial (t={}) should beat Barnes-original (t={}) under HLRC",
+        rr.total_cycles,
+        ro.total_cycles
+    );
+}
+
+/// §4.5 synergy: once communication is idealized, protocol-cost
+/// improvements buy a larger *percentage* gain than they did at the base
+/// system (Water-Nsquared is one of the paper's examples).
+#[test]
+fn protocol_gains_grow_after_communication_improves() {
+    let mk = || WaterNsq::new(32, 2);
+    let t = |comm: CommParams, proto: ssm::proto::ProtoCosts| {
+        SimBuilder::new(Protocol::Hlrc)
+            .procs(4)
+            .comm(comm)
+            .proto(proto)
+            .run(&mk())
+            .expect_verified()
+            .total_cycles as f64
+    };
+    let ao = t(CommParams::achievable(), ssm::proto::ProtoCosts::original());
+    let ab = t(CommParams::achievable(), ssm::proto::ProtoCosts::best());
+    let bo = t(CommParams::best(), ssm::proto::ProtoCosts::original());
+    let bb = t(CommParams::best(), ssm::proto::ProtoCosts::best());
+    let gain_before = (ao - ab) / ao;
+    let gain_after = (bo - bb) / bo;
+    assert!(
+        gain_after > gain_before,
+        "protocol idealization should gain more after comm idealization: \
+         {:.1}% -> {:.1}%",
+        100.0 * gain_before,
+        100.0 * gain_after
+    );
+}
+
+/// The worse (W) communication set mirrors improvements downward for both
+/// protocols — "not improving communication performance as processor speed
+/// increases will indeed have a substantial impact".
+#[test]
+fn degraded_communication_degrades_both_protocols() {
+    let mk = || Ocean::contiguous(24, 2);
+    let hlrc_a = run_hlrc(&mk(), CommParams::achievable(), 4);
+    let hlrc_w = run_hlrc(&mk(), CommParams::worse(), 4);
+    let sc_a = run_sc(&mk(), CommParams::achievable(), 4, 1024);
+    let sc_w = run_sc(&mk(), CommParams::worse(), 4, 1024);
+    assert!(hlrc_w as f64 > hlrc_a as f64 * 1.3);
+    assert!(sc_w as f64 > sc_a as f64 * 1.3);
+}
