@@ -60,9 +60,7 @@ fn encode(s: Slot) -> i64 {
 
 /// Deterministic clustered ("Plummer-like") body position.
 fn body_pos(i: usize) -> [f64; 3] {
-    let h = |k: usize| {
-        (((i * 3 + k).wrapping_mul(2654435761) >> 4) & 0xfffff) as f64 / 1048576.0
-    };
+    let h = |k: usize| (((i * 3 + k).wrapping_mul(2654435761) >> 4) & 0xfffff) as f64 / 1048576.0;
     let u = h(0);
     let radius = 0.45 * u * u.sqrt(); // clustered toward the centre
     let theta = h(1) * std::f64::consts::PI;
@@ -151,16 +149,29 @@ impl Barnes {
             ];
             let mut direct = [0.0f64; 3];
             for j in 0..n {
-                if j == i { continue; }
-                let y = [h.pos.get_direct(j*3), h.pos.get_direct(j*3+1), h.pos.get_direct(j*3+2)];
+                if j == i {
+                    continue;
+                }
+                let y = [
+                    h.pos.get_direct(j * 3),
+                    h.pos.get_direct(j * 3 + 1),
+                    h.pos.get_direct(j * 3 + 2),
+                ];
                 add_grav(&mut direct, &x, &y, body_mass);
             }
-            let got = [h.acc.get_direct(i*3), h.acc.get_direct(i*3+1), h.acc.get_direct(i*3+2)];
-            let dn = (direct[0].powi(2)+direct[1].powi(2)+direct[2].powi(2)).sqrt();
-            let en = ((got[0]-direct[0]).powi(2)+(got[1]-direct[1]).powi(2)+(got[2]-direct[2]).powi(2)).sqrt();
-            rows.push((en/dn.max(1e-9), dn, i));
+            let got = [
+                h.acc.get_direct(i * 3),
+                h.acc.get_direct(i * 3 + 1),
+                h.acc.get_direct(i * 3 + 2),
+            ];
+            let dn = (direct[0].powi(2) + direct[1].powi(2) + direct[2].powi(2)).sqrt();
+            let en = ((got[0] - direct[0]).powi(2)
+                + (got[1] - direct[1]).powi(2)
+                + (got[2] - direct[2]).powi(2))
+            .sqrt();
+            rows.push((en / dn.max(1e-9), dn, i));
         }
-        rows.sort_by(|a,b| b.0.partial_cmp(&a.0).unwrap());
+        rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
         let mean_f: f64 = rows.iter().map(|r| r.1).sum::<f64>() / n as f64;
         println!("mean |direct| = {mean_f:.4}");
         for r in rows.iter().take(5) {
@@ -560,14 +571,8 @@ impl Workload for Barnes {
                         // --- Force phase ---
                         for b in b0..b1 {
                             let bp = read_block(p, &pos, b * 3, 3);
-                            let (a, inter) = tree.force_on(
-                                p,
-                                &pos,
-                                body_mass,
-                                b,
-                                [bp[0], bp[1], bp[2]],
-                                0,
-                            );
+                            let (a, inter) =
+                                tree.force_on(p, &pos, body_mass, b, [bp[0], bp[1], bp[2]], 0);
                             p.compute(inter * 20 * FLOP);
                             write_block(p, &acc, b * 3, &a);
                         }
@@ -643,8 +648,7 @@ impl Workload for Barnes {
                 h.acc.get_direct(i * 3 + 1),
                 h.acc.get_direct(i * 3 + 2),
             ];
-            let dn = (direct[0] * direct[0] + direct[1] * direct[1] + direct[2] * direct[2])
-                .sqrt();
+            let dn = (direct[0] * direct[0] + direct[1] * direct[1] + direct[2] * direct[2]).sqrt();
             let en = ((got[0] - direct[0]).powi(2)
                 + (got[1] - direct[1]).powi(2)
                 + (got[2] - direct[2]).powi(2))
@@ -672,7 +676,13 @@ mod tests {
 
     #[test]
     fn slot_encoding_round_trips() {
-        for s in [Slot::Empty, Slot::Cell(0), Slot::Cell(17), Slot::Body(0), Slot::Body(9)] {
+        for s in [
+            Slot::Empty,
+            Slot::Cell(0),
+            Slot::Cell(17),
+            Slot::Body(0),
+            Slot::Body(9),
+        ] {
             assert_eq!(decode(encode(s)), s);
         }
     }

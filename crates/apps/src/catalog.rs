@@ -256,7 +256,10 @@ pub fn suite() -> Vec<AppSpec> {
 
 /// Only the original (non-restructured) applications.
 pub fn originals() -> Vec<AppSpec> {
-    suite().into_iter().filter(|a| a.restructured_of.is_none()).collect()
+    suite()
+        .into_iter()
+        .filter(|a| a.restructured_of.is_none())
+        .collect()
 }
 
 /// Looks an application up by name.
@@ -283,8 +286,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::HashSet<&str> =
-            suite().iter().map(|a| a.name).collect();
+        let names: std::collections::HashSet<&str> = suite().iter().map(|a| a.name).collect();
         assert_eq!(names.len(), 13);
     }
 

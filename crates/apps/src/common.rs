@@ -21,6 +21,75 @@ pub const INT_OP: u64 = 2;
 /// Cycles charged per element copied between buffers.
 pub const COPY: u64 = 4;
 
+/// A small, fast, seeded pseudo-random generator (SplitMix64 state
+/// advance + xorshift-style output mixing). This replaces the external
+/// `rand` crate so the workspace builds with no registry access; it is
+/// deterministic by construction, which the simulator requires anyway
+/// (identical seeds must reproduce identical workloads and results).
+///
+/// # Example
+///
+/// ```rust
+/// use ssm_apps::common::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.gen_range(10);
+/// assert!(x < 10);
+/// let f = a.next_f64();
+/// assert!((0.0..1.0).contains(&f));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator seeded with `seed` (any value, including 0, is fine).
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next 64 uniformly distributed bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift range reduction (Lemire); the tiny modulo bias of
+        // the plain form is irrelevant for workload generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fisher-Yates shuffle of `xs`.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
 /// Splits `n` items over `nprocs` processors; returns `[start, end)` for
 /// `pid`. Remainders go to the lowest-numbered processors, so sizes differ
 /// by at most one.
@@ -244,5 +313,50 @@ mod tests {
     #[test]
     fn fft_cycles_scale() {
         assert!(fft_cycles(64) > fft_cycles(32) * 2);
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::new(8);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rng_range_and_unit_interval_bounds() {
+        let mut r = Rng::new(123);
+        for _ in 0..1000 {
+            assert!(r.gen_range(17) < 17);
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(r.gen_range(0), 0);
+        assert_eq!(r.gen_range(1), 0);
+    }
+
+    #[test]
+    fn rng_shuffle_is_a_permutation() {
+        let mut r = Rng::new(5);
+        let mut xs: Vec<usize> = (0..64).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(
+            xs,
+            (0..64).collect::<Vec<_>>(),
+            "64! leaves ~no chance of identity"
+        );
     }
 }

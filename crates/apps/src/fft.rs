@@ -13,7 +13,9 @@ use std::f64::consts::PI;
 
 use ssm_proto::{Proc, SharedVec, ThreadBody, Workload, World};
 
-use crate::common::{block_range, fft_cycles, fft_in_place, read_block, write_block, Cx, COPY, FLOP};
+use crate::common::{
+    block_range, fft_cycles, fft_in_place, read_block, write_block, Cx, COPY, FLOP,
+};
 
 /// The FFT workload. `n` complex points (a power of four so the matrix is
 /// square).
@@ -109,7 +111,9 @@ fn fft_band(
 ) {
     for r in r0..r1 {
         let seg = read_block(p, v, r * m * 2, m * 2);
-        let mut row: Vec<Cx> = (0..m).map(|i| Cx::new(seg[2 * i], seg[2 * i + 1])).collect();
+        let mut row: Vec<Cx> = (0..m)
+            .map(|i| Cx::new(seg[2 * i], seg[2 * i + 1]))
+            .collect();
         fft_in_place(&mut row, false);
         p.compute(fft_cycles(m));
         if twiddle {
@@ -135,7 +139,10 @@ impl Workload for Fft {
     }
 
     fn spawn(&self, world: &mut World, nprocs: usize) -> Vec<ThreadBody> {
-        assert!(nprocs <= self.m, "need at least one matrix row per processor");
+        assert!(
+            nprocs <= self.m,
+            "need at least one matrix row per processor"
+        );
         let data = world.alloc_vec::<f64>(self.n * 2);
         let scratch = world.alloc_vec::<f64>(self.n * 2);
         let bar = world.alloc_barrier();
@@ -240,7 +247,10 @@ mod tests {
         let w = Fft::new(1024);
         let seq = sequential_baseline(&w).total_cycles;
         let w = Fft::new(1024);
-        let par = SimBuilder::new(Protocol::Ideal).procs(4).run(&w).total_cycles;
+        let par = SimBuilder::new(Protocol::Ideal)
+            .procs(4)
+            .run(&w)
+            .total_cycles;
         assert!(
             (seq as f64 / par as f64) > 2.0,
             "ideal speedup too low: {seq}/{par}"

@@ -26,8 +26,8 @@ pub mod fft;
 pub mod lu;
 pub mod ocean;
 pub mod radix;
-pub mod taskq;
 pub mod raytrace;
+pub mod taskq;
 pub mod volrend;
 pub mod water_nsq;
 pub mod water_sp;

@@ -44,7 +44,10 @@ impl Lu {
     ///
     /// Panics unless `b` divides `n` and both are at least 2.
     pub fn new(n: usize, b: usize) -> Self {
-        assert!(n >= 2 && b >= 2 && n.is_multiple_of(b), "block size must divide n");
+        assert!(
+            n >= 2 && b >= 2 && n.is_multiple_of(b),
+            "block size must divide n"
+        );
         Lu {
             n,
             b,

@@ -132,7 +132,9 @@ impl Ocean {
 
     fn build_layout(&self, nprocs: usize) -> Layout {
         match self.variant {
-            OceanVariant::Rowwise => Layout::RowMajor { total: self.total() },
+            OceanVariant::Rowwise => Layout::RowMajor {
+                total: self.total(),
+            },
             OceanVariant::Contiguous => {
                 let (pr, pc) = proc_grid(nprocs);
                 let total = self.total();
@@ -275,23 +277,24 @@ impl Workload for Ocean {
                             // Halo: north & south neighbour rows —
                             // contiguous runs in the underlying layout
                             // (coarse reads).
-                            let row_halo = |p: &Proc<'_>, local: &mut Vec<f64>, dst_r: usize, src_i: usize| {
-                                let mut j = c0;
-                                while j < c1 {
-                                    let start_idx = layout.index(src_i, j);
-                                    let mut len = 1usize;
-                                    while j + len < c1
-                                        && layout.index(src_i, j + len) == start_idx + len
-                                    {
-                                        len += 1;
+                            let row_halo =
+                                |p: &Proc<'_>, local: &mut Vec<f64>, dst_r: usize, src_i: usize| {
+                                    let mut j = c0;
+                                    while j < c1 {
+                                        let start_idx = layout.index(src_i, j);
+                                        let mut len = 1usize;
+                                        while j + len < c1
+                                            && layout.index(src_i, j + len) == start_idx + len
+                                        {
+                                            len += 1;
+                                        }
+                                        let seg = read_block(p, &grid, start_idx, len);
+                                        for (t, v) in seg.into_iter().enumerate() {
+                                            local[dst_r * lw + (j - c0) + 1 + t] = v;
+                                        }
+                                        j += len;
                                     }
-                                    let seg = read_block(p, &grid, start_idx, len);
-                                    for (t, v) in seg.into_iter().enumerate() {
-                                        local[dst_r * lw + (j - c0) + 1 + t] = v;
-                                    }
-                                    j += len;
-                                }
-                            };
+                                };
                             if r0 > 0 {
                                 row_halo(p, &mut local, 0, r0 - 1);
                             }
@@ -397,7 +400,10 @@ mod tests {
     #[test]
     fn parallel_rowwise_verifies_under_sc() {
         let w = Ocean::rowwise(16, 2);
-        let r = SimBuilder::new(Protocol::Sc).procs(4).sc_block(1024).run(&w);
+        let r = SimBuilder::new(Protocol::Sc)
+            .procs(4)
+            .sc_block(1024)
+            .run(&w);
         assert!(r.verify_error.is_none(), "{:?}", r.verify_error);
     }
 
@@ -408,9 +414,15 @@ mod tests {
         // per-word column exchanges dominate; rowwise strips have no
         // east/west boundaries at all.
         let orig = Ocean::contiguous(24, 2);
-        let ro = SimBuilder::new(Protocol::Sc).procs(4).sc_block(64).run(&orig);
+        let ro = SimBuilder::new(Protocol::Sc)
+            .procs(4)
+            .sc_block(64)
+            .run(&orig);
         let rest = Ocean::rowwise(24, 2);
-        let rr = SimBuilder::new(Protocol::Sc).procs(4).sc_block(64).run(&rest);
+        let rr = SimBuilder::new(Protocol::Sc)
+            .procs(4)
+            .sc_block(64)
+            .run(&rest);
         assert!(ro.verify_error.is_none() && rr.verify_error.is_none());
         assert!(
             rr.counters.messages < ro.counters.messages,

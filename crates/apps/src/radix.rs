@@ -190,8 +190,7 @@ impl Workload for Radix {
                                 // the destination is ordered by (d, q).
                                 let seg_start: Vec<usize> =
                                     (0..np).map(|q| block_range(n, np, q).0).collect();
-                                let mut bucket_at: Vec<Vec<usize>> =
-                                    vec![vec![0; R + 1]; np];
+                                let mut bucket_at: Vec<Vec<usize>> = vec![vec![0; R + 1]; np];
                                 for q in 0..np {
                                     let mut acc = seg_start[q];
                                     for d in 0..R {
@@ -213,8 +212,7 @@ impl Workload for Radix {
                                         let hi = (g + len).min(k1);
                                         if lo < hi {
                                             let off = bucket_at[q][d] + (lo - g);
-                                            let vals =
-                                                read_block(p, &buf, off, hi - lo);
+                                            let vals = read_block(p, &buf, off, hi - lo);
                                             out.extend_from_slice(&vals);
                                         }
                                         g += len;

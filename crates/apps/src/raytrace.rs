@@ -39,9 +39,7 @@ struct Sphere {
 fn make_scene(ns: usize) -> Vec<Sphere> {
     (0..ns)
         .map(|i| {
-            let h = |k: usize| {
-                ((i * 5 + k).wrapping_mul(2654435761) & 0xffff) as f64 / 65536.0
-            };
+            let h = |k: usize| ((i * 5 + k).wrapping_mul(2654435761) & 0xffff) as f64 / 65536.0;
             Sphere {
                 c: [h(0), h(1), 0.2 + 0.6 * h(2)],
                 r: 0.04 + 0.08 * h(3),
@@ -168,7 +166,11 @@ where
         lambert = 0.0;
     }
     // Shadow ray through the grid toward the light.
-    let so = [hit[0] + n[0] * 1e-6, hit[1] + n[1] * 1e-6, hit[2] + n[2] * 1e-6];
+    let so = [
+        hit[0] + n[0] * 1e-6,
+        hit[1] + n[1] * 1e-6,
+        hit[2] + n[2] * 1e-6,
+    ];
     let mut shadow = false;
     'outer: for step in 1..=GRID {
         let pos = [
@@ -210,7 +212,10 @@ impl Raytrace {
     ///
     /// Panics unless `res` is a positive multiple of the tile edge (4).
     pub fn new(res: usize, ns: usize) -> Self {
-        assert!(res > 0 && res.is_multiple_of(TILE), "resolution must be a multiple of 4");
+        assert!(
+            res > 0 && res.is_multiple_of(TILE),
+            "resolution must be a multiple of 4"
+        );
         assert!(ns > 0);
         Raytrace {
             res,

@@ -143,8 +143,9 @@ mod tests {
         fn verify(&self) -> Result<(), String> {
             let guard = self.done.borrow();
             let done = guard.as_ref().ok_or("not spawned")?;
-            let missing: Vec<usize> =
-                (0..done.len()).filter(|&i| done.get_direct(i) != 1).collect();
+            let missing: Vec<usize> = (0..done.len())
+                .filter(|&i| done.get_direct(i) != 1)
+                .collect();
             if missing.is_empty() {
                 Ok(())
             } else {

@@ -109,7 +109,10 @@ impl Volrend {
     ///
     /// Panics unless `v` is a positive multiple of the tile edge (4).
     pub fn new(v: usize, variant: VolrendVariant) -> Self {
-        assert!(v > 0 && v.is_multiple_of(TILE), "volume side must be a multiple of 4");
+        assert!(
+            v > 0 && v.is_multiple_of(TILE),
+            "volume side must be a multiple of 4"
+        );
         Volrend {
             v,
             variant,

@@ -56,9 +56,7 @@ fn pair_force(a: [f64; 3], b: [f64; 3]) -> Option<[f64; 3]> {
 
 /// Cell index of a position (clamped to the box).
 fn cell_of(x: [f64; 3]) -> usize {
-    let c = |v: f64| {
-        ((v * CELLS as f64) as isize).clamp(0, CELLS as isize - 1) as usize
-    };
+    let c = |v: f64| ((v * CELLS as f64) as isize).clamp(0, CELLS as isize - 1) as usize;
     (c(x[0]) * CELLS + c(x[1])) * CELLS + c(x[2])
 }
 
@@ -168,8 +166,7 @@ impl Workload for WaterSp {
                         let all_pos = read_block(p, &pos, 0, n * 3);
                         let mine: Vec<usize> = (0..n)
                             .filter(|&i| {
-                                let x =
-                                    [all_pos[i * 3], all_pos[i * 3 + 1], all_pos[i * 3 + 2]];
+                                let x = [all_pos[i * 3], all_pos[i * 3 + 1], all_pos[i * 3 + 2]];
                                 let c = cell_of(x);
                                 c >= c0 && c < c1
                             })
@@ -185,8 +182,7 @@ impl Workload for WaterSp {
                                 if i == j {
                                     continue;
                                 }
-                                let b =
-                                    [all_pos[j * 3], all_pos[j * 3 + 1], all_pos[j * 3 + 2]];
+                                let b = [all_pos[j * 3], all_pos[j * 3 + 1], all_pos[j * 3 + 2]];
                                 // Cell-distance prefilter (the cell lists):
                                 // only the 27-neighbourhood is examined.
                                 if !cells_adjacent(cell_of(a), cell_of(b)) {

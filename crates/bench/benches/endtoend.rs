@@ -1,66 +1,39 @@
-//! End-to-end Criterion benchmarks: full simulated runs of small instances
-//! of representative applications under each protocol, so `cargo bench`
+//! End-to-end benchmarks: full simulated runs of small instances of
+//! representative applications under each protocol, so `cargo bench`
 //! exercises the whole stack (engine, caches, network, protocol, driver,
-//! application threads).
+//! application threads). Uses the std-only timing loop from
+//! `ssm_bench::bench`.
+//!
+//! Run with `cargo bench -p ssm-bench --bench endtoend`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ssm_apps::fft::Fft;
 use ssm_apps::radix::Radix;
 use ssm_apps::water_nsq::WaterNsq;
+use ssm_bench::bench;
 use ssm_core::{Protocol, SimBuilder};
 
-fn bench_full_runs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("endtoend");
-    g.sample_size(10);
+fn main() {
     for proto in [Protocol::Ideal, Protocol::Hlrc, Protocol::Sc] {
-        g.bench_with_input(
-            BenchmarkId::new("fft_256_4p", proto.label()),
-            &proto,
-            |b, &proto| {
-                b.iter(|| {
-                    let w = Fft::new(256);
-                    let r = SimBuilder::new(proto)
-                        .procs(4)
-                        .sc_block(4096)
-                        .run(&w)
-                        .expect_verified();
-                    black_box(r.total_cycles)
-                })
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("radix_2048_4p", proto.label()),
-            &proto,
-            |b, &proto| {
-                b.iter(|| {
-                    let w = Radix::original(2048);
-                    let r = SimBuilder::new(proto)
-                        .procs(4)
-                        .run(&w)
-                        .expect_verified();
-                    black_box(r.total_cycles)
-                })
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("water_32_4p", proto.label()),
-            &proto,
-            |b, &proto| {
-                b.iter(|| {
-                    let w = WaterNsq::new(32, 1);
-                    let r = SimBuilder::new(proto)
-                        .procs(4)
-                        .run(&w)
-                        .expect_verified();
-                    black_box(r.total_cycles)
-                })
-            },
-        );
+        bench(&format!("endtoend/fft_256_4p/{}", proto.label()), || {
+            let w = Fft::new(256);
+            let r = SimBuilder::new(proto)
+                .procs(4)
+                .sc_block(4096)
+                .run(&w)
+                .expect_verified();
+            black_box(r.total_cycles)
+        });
+        bench(&format!("endtoend/radix_2048_4p/{}", proto.label()), || {
+            let w = Radix::original(2048);
+            let r = SimBuilder::new(proto).procs(4).run(&w).expect_verified();
+            black_box(r.total_cycles)
+        });
+        bench(&format!("endtoend/water_32_4p/{}", proto.label()), || {
+            let w = WaterNsq::new(32, 1);
+            let r = SimBuilder::new(proto).procs(4).run(&w).expect_verified();
+            black_box(r.total_cycles)
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_full_runs);
-criterion_main!(benches);

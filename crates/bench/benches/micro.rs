@@ -1,54 +1,19 @@
-//! Criterion micro-benchmarks of the simulator's hot paths: the event
-//! queue, the cache model, the network model, and the two protocols'
-//! fundamental transactions.
+//! Micro-benchmarks of the simulator's hot paths: the event queue, the
+//! cache model, the network model, and the two protocols' fundamental
+//! transactions. Uses the std-only timing loop from `ssm_bench::bench`
+//! (the hermetic build carries no benchmark-harness dependency).
+//!
+//! Run with `cargo bench -p ssm-bench --bench micro`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use ssm_bench::bench;
 use ssm_engine::EventQueue;
 use ssm_hlrc::Hlrc;
 use ssm_mem::{Hierarchy, MemConfig};
 use ssm_net::{CommParams, Network};
 use ssm_proto::{Machine, ProtoCosts, Protocol, WorldShape, PAGE_SIZE};
 use ssm_sc::Sc;
-
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.push((i * 7919) % 1000, i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum += e;
-            }
-            black_box(sum)
-        })
-    });
-}
-
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/stream_64kb", |b| {
-        let mut h = Hierarchy::new(MemConfig::pentium_pro_like());
-        b.iter(|| black_box(h.stream_range(0, 0, 64 * 1024, false)))
-    });
-    c.bench_function("cache/touch_4kb", |b| {
-        let mut h = Hierarchy::new(MemConfig::pentium_pro_like());
-        b.iter(|| black_box(h.touch_range(0, 0, 4096, true)))
-    });
-}
-
-fn bench_network(c: &mut Criterion) {
-    c.bench_function("network/deliver_page", |b| {
-        let mut net = Network::new(16, CommParams::achievable());
-        let mut t = 0;
-        b.iter(|| {
-            t += 1;
-            black_box(net.deliver(t, 0, 1, PAGE_SIZE))
-        })
-    });
-}
 
 fn machine(n: usize) -> Machine {
     Machine::new(
@@ -59,82 +24,76 @@ fn machine(n: usize) -> Machine {
     )
 }
 
-fn bench_hlrc(c: &mut Criterion) {
-    let shape = WorldShape {
+fn shape() -> WorldShape {
+    WorldShape {
         heap_bytes: 1 << 22,
         nlocks: 1,
         nbarriers: 1,
-    };
-    c.bench_function("hlrc/page_fetch", |b| {
-        b.iter_with_setup(
-            || {
-                let m = machine(4);
-                let mut p = Hlrc::new();
-                p.init(&m, &shape);
-                (m, p)
-            },
-            |(mut m, mut p)| black_box(p.read(&mut m, 1, 0, 8)),
-        )
-    });
-    c.bench_function("hlrc/twin_diff_cycle", |b| {
-        b.iter_with_setup(
-            || {
-                let m = machine(4);
-                let mut p = Hlrc::new();
-                p.init(&m, &shape);
-                (m, p)
-            },
-            |(mut m, mut p)| {
-                // Write a remote page, then flush at a release.
-                let t = p.write(&mut m, 1, 0, 256);
-                m.clock[1] = t;
-                assert!(p.lock_table_mut().acquire(ssm_proto::LockId(0), 1));
-                black_box(p.unlock(&mut m, 1, ssm_proto::LockId(0)))
-            },
-        )
-    });
+    }
 }
 
-fn bench_sc(c: &mut Criterion) {
-    let shape = WorldShape {
-        heap_bytes: 1 << 22,
-        nlocks: 1,
-        nbarriers: 1,
-    };
-    c.bench_function("sc/read_miss_64b", |b| {
-        b.iter_with_setup(
-            || {
-                let m = machine(4);
-                let mut p = Sc::new(64);
-                p.init(&m, &shape);
-                (m, p)
-            },
-            |(mut m, mut p)| black_box(p.read(&mut m, 1, 0, 8)),
-        )
+fn main() {
+    bench("event_queue/push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push((i * 7919) % 1000, i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum += e;
+        }
+        black_box(sum)
     });
-    c.bench_function("sc/write_invalidate_3_sharers", |b| {
-        b.iter_with_setup(
-            || {
-                let mut m = machine(4);
-                let mut p = Sc::new(64);
-                p.init(&m, &shape);
-                for q in 1..4 {
-                    let t = p.read(&mut m, q, 0, 8);
-                    m.clock[q] = t;
-                }
-                (m, p)
-            },
-            |(mut m, mut p)| black_box(p.write(&mut m, 1, 0, 8)),
-        )
+
+    bench("cache/stream_64kb", || {
+        let mut h = Hierarchy::new(MemConfig::pentium_pro_like());
+        black_box(h.stream_range(0, 0, 64 * 1024, false))
+    });
+    bench("cache/touch_4kb", || {
+        let mut h = Hierarchy::new(MemConfig::pentium_pro_like());
+        black_box(h.touch_range(0, 0, 4096, true))
+    });
+
+    {
+        let mut net = Network::new(16, CommParams::achievable());
+        let mut t = 0;
+        bench("network/deliver_page", || {
+            t += 1;
+            black_box(net.deliver(t, 0, 1, PAGE_SIZE))
+        });
+    }
+
+    bench("hlrc/page_fetch", || {
+        let mut m = machine(4);
+        let mut p = Hlrc::new();
+        p.init(&m, &shape());
+        black_box(p.read(&mut m, 1, 0, 8))
+    });
+    bench("hlrc/twin_diff_cycle", || {
+        let mut m = machine(4);
+        let mut p = Hlrc::new();
+        p.init(&m, &shape());
+        // Write a remote page, then flush at a release.
+        let t = p.write(&mut m, 1, 0, 256);
+        m.clock[1] = t;
+        assert!(p.lock_table_mut().acquire(ssm_proto::LockId(0), 1));
+        black_box(p.unlock(&mut m, 1, ssm_proto::LockId(0)))
+    });
+
+    bench("sc/read_miss_64b", || {
+        let mut m = machine(4);
+        let mut p = Sc::new(64);
+        p.init(&m, &shape());
+        black_box(p.read(&mut m, 1, 0, 8))
+    });
+    bench("sc/write_invalidate_3_sharers", || {
+        let mut m = machine(4);
+        let mut p = Sc::new(64);
+        p.init(&m, &shape());
+        for q in 1..4 {
+            let t = p.read(&mut m, q, 0, 8);
+            m.clock[q] = t;
+        }
+        black_box(p.write(&mut m, 1, 0, 8))
     });
 }
-
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_cache,
-    bench_network,
-    bench_hlrc,
-    bench_sc
-);
-criterion_main!(benches);

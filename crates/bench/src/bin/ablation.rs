@@ -9,95 +9,107 @@
 //!   support for automatic write propagation can eliminate diffs");
 //! * round-robin vs first-touch page placement.
 
-use ssm_bench::{fmt_speedup, note, Harness};
-use ssm_core::{Protocol, SimBuilder};
+use ssm_bench::{fmt_speedup_opt, report_failures};
+use ssm_core::{LayerConfig, Protocol};
 use ssm_net::CommParams;
-use ssm_stats::Table;
-
 use ssm_proto::HomePolicy;
+use ssm_stats::Table;
+use ssm_sweep::{run_sweep, Cell, SweepCli};
+
+const GRANS: [u64; 4] = [64, 256, 1024, 4096];
+const HANDLING: [u64; 2] = [200, 3000];
+const PROTOS: [Protocol; 2] = [Protocol::Hlrc, Protocol::Aurc];
+const POLICIES: [HomePolicy; 2] = [HomePolicy::RoundRobin, HomePolicy::FirstTouch];
+
+fn handling_comm(cycles: u64) -> CommParams {
+    let mut comm = CommParams::achievable();
+    comm.msg_handling = cycles;
+    comm
+}
 
 fn main() {
-    let mut h = Harness::from_args();
-    println!("Ablation 1: SC granularity, {} processors, scale {:?}.\n", h.procs, h.scale);
-    let grans = [64u64, 256, 1024, 4096];
-    let mut t = Table::new(vec!["Application", "64B", "256B", "1KB", "4KB"]);
-    let apps: Vec<_> = h
+    let cli = SweepCli::parse();
+    let apps: Vec<_> = cli
         .apps()
         .into_iter()
-        .filter(|a| ["FFT", "Ocean-Contiguous", "Barnes-original", "Radix"].contains(&a.name) || !h.filter.is_empty())
+        .filter(|a| {
+            ["FFT", "Ocean-Contiguous", "Barnes-original", "Radix"].contains(&a.name)
+                || !cli.filter.is_empty()
+        })
         .collect();
+    let base =
+        |app: &str, protocol| Cell::new(app, protocol, LayerConfig::base(), cli.procs, cli.scale);
+
+    let mut cells = Vec::new();
     for spec in &apps {
-        let base = h.baseline(spec);
-        let mut cells = vec![spec.name.to_string()];
-        for g in grans {
-            note(&format!("{} SC @ {g}B", spec.name));
-            let w = spec.build(h.scale);
-            let r = SimBuilder::new(Protocol::Sc)
-                .procs(h.procs)
-                .sc_block(g)
-                .run(w.as_ref())
-                .expect_verified();
-            cells.push(fmt_speedup(r.speedup(base)));
+        cells.push(Cell::baseline(spec.name, cli.scale));
+        for g in GRANS {
+            cells.push(base(spec.name, Protocol::Sc).with_sc_block(g));
         }
-        t.row(cells);
+        for handling in HANDLING {
+            cells.push(base(spec.name, Protocol::Hlrc).with_comm_params(handling_comm(handling)));
+        }
+        for proto in PROTOS {
+            cells.push(base(spec.name, proto));
+        }
+        for policy in POLICIES {
+            cells.push(base(spec.name, Protocol::Hlrc).with_homes(policy));
+        }
+    }
+    let run = run_sweep(&cells, &cli.opts());
+    report_failures(&run);
+
+    println!("Ablation 1: SC granularity, {}.\n", cli.describe());
+    let mut t = Table::new(vec!["Application", "64B", "256B", "1KB", "4KB"]);
+    for spec in &apps {
+        let mut row = vec![spec.name.to_string()];
+        for g in GRANS {
+            row.push(fmt_speedup_opt(
+                run.speedup(&base(spec.name, Protocol::Sc).with_sc_block(g)),
+            ));
+        }
+        t.row(row);
     }
     println!("{t}");
 
     println!("\nAblation 2: polling vs interrupt-cost message handling (HLRC, AO).\n");
-    let mut t = Table::new(vec!["Application", "polling (200cy)", "interrupts (~3000cy)"]);
+    let mut t = Table::new(vec![
+        "Application",
+        "polling (200cy)",
+        "interrupts (~3000cy)",
+    ]);
     for spec in &apps {
-        let base = h.baseline(spec);
-        let mut cells = vec![spec.name.to_string()];
-        for handling in [200u64, 3000] {
-            note(&format!("{} handling={handling}", spec.name));
-            let mut comm = CommParams::achievable();
-            comm.msg_handling = handling;
-            let w = spec.build(h.scale);
-            let r = SimBuilder::new(Protocol::Hlrc)
-                .procs(h.procs)
-                .comm(comm)
-                .run(w.as_ref())
-                .expect_verified();
-            cells.push(fmt_speedup(r.speedup(base)));
+        let mut row = vec![spec.name.to_string()];
+        for handling in HANDLING {
+            row.push(fmt_speedup_opt(run.speedup(
+                &base(spec.name, Protocol::Hlrc).with_comm_params(handling_comm(handling)),
+            )));
         }
-        t.row(cells);
+        t.row(row);
     }
     println!("{t}");
 
     println!("\nAblation 3: twins/diffs (HLRC) vs automatic update (AURC), AO.\n");
     let mut t = Table::new(vec!["Application", "HLRC", "AURC"]);
     for spec in &apps {
-        let base = h.baseline(spec);
-        let mut cells = vec![spec.name.to_string()];
-        for proto in [Protocol::Hlrc, Protocol::Aurc] {
-            note(&format!("{} {}", spec.name, proto.label()));
-            let w = spec.build(h.scale);
-            let r = SimBuilder::new(proto)
-                .procs(h.procs)
-                .run(w.as_ref())
-                .expect_verified();
-            cells.push(fmt_speedup(r.speedup(base)));
+        let mut row = vec![spec.name.to_string()];
+        for proto in PROTOS {
+            row.push(fmt_speedup_opt(run.speedup(&base(spec.name, proto))));
         }
-        t.row(cells);
+        t.row(row);
     }
     println!("{t}");
 
     println!("\nAblation 4: round-robin vs first-touch page placement (HLRC, AO).\n");
     let mut t = Table::new(vec!["Application", "round-robin", "first-touch"]);
     for spec in &apps {
-        let base = h.baseline(spec);
-        let mut cells = vec![spec.name.to_string()];
-        for policy in [HomePolicy::RoundRobin, HomePolicy::FirstTouch] {
-            note(&format!("{} {policy:?}", spec.name));
-            let w = spec.build(h.scale);
-            let r = SimBuilder::new(Protocol::Hlrc)
-                .procs(h.procs)
-                .home_policy(policy)
-                .run(w.as_ref())
-                .expect_verified();
-            cells.push(fmt_speedup(r.speedup(base)));
+        let mut row = vec![spec.name.to_string()];
+        for policy in POLICIES {
+            row.push(fmt_speedup_opt(
+                run.speedup(&base(spec.name, Protocol::Hlrc).with_homes(policy)),
+            ));
         }
-        t.row(cells);
+        t.row(row);
     }
     println!("{t}");
 }

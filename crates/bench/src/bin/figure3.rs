@@ -3,15 +3,16 @@
 //! IDEAL, B+O, BO, HO, AO, WO for SC — SC is not swept over protocol
 //! costs, per the paper §4.3).
 
-use ssm_bench::{fmt_speedup, note, Harness};
-use ssm_core::{CommPreset, LayerConfig, Protocol, ProtoPreset};
+use ssm_bench::{fmt_speedup_opt, report_failures};
+use ssm_core::{CommPreset, LayerConfig, ProtoPreset, Protocol};
 use ssm_stats::Table;
+use ssm_sweep::{run_sweep, Cell, SweepCli};
 
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = SweepCli::parse();
     println!(
-        "Figure 3: speedups, {} processors, scale {:?} (paper scale: 16 procs).\n",
-        h.procs, h.scale
+        "Figure 3: speedups, {} (paper scale: 16 procs).\n",
+        cli.describe()
     );
 
     let hlrc_cfgs = LayerConfig::figure3(); // B+B BB AB BO AO WO
@@ -26,25 +27,47 @@ fn main() {
     .map(|(comm, proto)| LayerConfig { comm, proto })
     .collect();
 
+    // One flat enumeration: baselines + every bar of every application.
+    let apps = cli.apps();
+    let cells_for = |spec_name: &str| {
+        let mut cells = vec![
+            Cell::baseline(spec_name, cli.scale),
+            Cell::ideal(spec_name, cli.procs, cli.scale),
+        ];
+        for cfg in &hlrc_cfgs {
+            cells.push(Cell::new(
+                spec_name,
+                Protocol::Hlrc,
+                *cfg,
+                cli.procs,
+                cli.scale,
+            ));
+        }
+        for cfg in &sc_cfgs {
+            cells.push(Cell::new(
+                spec_name,
+                Protocol::Sc,
+                *cfg,
+                cli.procs,
+                cli.scale,
+            ));
+        }
+        cells
+    };
+    let all: Vec<Cell> = apps.iter().flat_map(|a| cells_for(a.name)).collect();
+    let run = run_sweep(&all, &cli.opts());
+    report_failures(&run);
+
     let mut head = vec!["Application".to_string(), "IDEAL".to_string()];
     head.extend(hlrc_cfgs.iter().map(|c| format!("HLRC {}", c.label())));
     head.extend(sc_cfgs.iter().map(|c| format!("SC {}", c.label())));
     let mut t = Table::new(head);
-
-    for spec in h.apps() {
-        note(&format!("running {}", spec.name));
-        let mut cells = vec![spec.name.to_string()];
-        let ideal = h.ideal(&spec);
-        cells.push(fmt_speedup(h.speedup(&spec, &ideal)));
-        for cfg in &hlrc_cfgs {
-            let r = h.run(&spec, Protocol::Hlrc, *cfg);
-            cells.push(fmt_speedup(h.speedup(&spec, &r)));
-        }
-        for cfg in &sc_cfgs {
-            let r = h.run(&spec, Protocol::Sc, *cfg);
-            cells.push(fmt_speedup(h.speedup(&spec, &r)));
-        }
-        t.row(cells);
+    for spec in &apps {
+        let cells = cells_for(spec.name);
+        let mut row = vec![spec.name.to_string()];
+        // cells[0] is the baseline; the bars start at the IDEAL cell.
+        row.extend(cells[1..].iter().map(|c| fmt_speedup_opt(run.speedup(c))));
+        t.row(row);
     }
     println!("{t}");
     println!("Labels: <comm><proto>; A=achievable, B=best, B+=better-than-best,");

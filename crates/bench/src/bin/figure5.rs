@@ -5,13 +5,21 @@
 //! The paper's finding: fine-grained SC depends mostly on overhead and
 //! occupancy, while HLRC depends mostly on bandwidth.
 
-use ssm_bench::{fmt_speedup, note, Harness};
-use ssm_core::{Protocol, SimBuilder};
+use ssm_bench::{fmt_speedup_opt, report_failures};
+use ssm_core::Protocol;
 use ssm_net::CommParams;
 use ssm_stats::Table;
+use ssm_sweep::{run_sweep, Cell, SweepCli};
 
 /// (label, multiplier-applied-to-achievable): 0 = free, 1/2, 1, 2.
 const POINTS: [(&str, u64, u64); 4] = [("0x", 0, 1), ("0.5x", 1, 2), ("1x", 1, 1), ("2x", 2, 1)];
+
+const PARAMS: [&str; 4] = [
+    "host overhead",
+    "NI occupancy",
+    "I/O bus bw",
+    "msg handling",
+];
 
 fn vary(param: &str, num: u64, den: u64) -> CommParams {
     let mut p = CommParams::achievable();
@@ -34,39 +42,62 @@ fn vary(param: &str, num: u64, den: u64) -> CommParams {
     p
 }
 
+fn cell(cli: &SweepCli, app: &str, proto: Protocol, param: &str, num: u64, den: u64) -> Cell {
+    Cell::new(
+        app,
+        proto,
+        ssm_core::LayerConfig::base(),
+        cli.procs,
+        cli.scale,
+    )
+    .with_comm_params(vary(param, num, den))
+}
+
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = SweepCli::parse();
     // The paper shows a subset of applications; default to a regular, an
     // irregular and the bandwidth-bound one unless --app filters.
-    let default = ["FFT", "Ocean-Contiguous", "Barnes-original", "Water-Nsquared", "Radix"];
-    let apps: Vec<_> = h
+    let default = [
+        "FFT",
+        "Ocean-Contiguous",
+        "Barnes-original",
+        "Water-Nsquared",
+        "Radix",
+    ];
+    let apps: Vec<_> = cli
         .apps()
         .into_iter()
-        .filter(|a| !h.filter.is_empty() || default.contains(&a.name))
+        .filter(|a| !cli.filter.is_empty() || default.contains(&a.name))
         .collect();
     println!(
         "Figure 5: speedup vs a single communication parameter (others at\n\
-         achievable), {} processors, scale {:?}.\n",
-        h.procs, h.scale
+         achievable), {}.\n",
+        cli.describe()
     );
-    for spec in apps {
-        let base = h.baseline(&spec);
+    let mut cells = Vec::new();
+    for spec in &apps {
+        cells.push(Cell::baseline(spec.name, cli.scale));
+        for proto in [Protocol::Hlrc, Protocol::Sc] {
+            for param in PARAMS {
+                for (_, num, den) in POINTS {
+                    cells.push(cell(&cli, spec.name, proto, param, num, den));
+                }
+            }
+        }
+    }
+    let run = run_sweep(&cells, &cli.opts());
+    report_failures(&run);
+
+    for spec in &apps {
         let mut t = Table::new(vec!["Parameter", "0x", "0.5x", "1x", "2x"]);
         for proto in [Protocol::Hlrc, Protocol::Sc] {
-            for param in ["host overhead", "NI occupancy", "I/O bus bw", "msg handling"] {
-                let mut cells = vec![format!("{} {}", proto.label(), param)];
-                for (label, num, den) in POINTS {
-                    note(&format!("{} {} {} {}", spec.name, proto.label(), param, label));
-                    let w = spec.build(h.scale);
-                    let r = SimBuilder::new(proto)
-                        .procs(h.procs)
-                        .comm(vary(param, num, den))
-                        .sc_block(spec.sc_block)
-                        .run(w.as_ref())
-                        .expect_verified();
-                    cells.push(fmt_speedup(r.speedup(base)));
+            for param in PARAMS {
+                let mut row = vec![format!("{} {}", proto.label(), param)];
+                for (_, num, den) in POINTS {
+                    let c = cell(&cli, spec.name, proto, param, num, den);
+                    row.push(fmt_speedup_opt(run.speedup(&c)));
                 }
-                t.row(cells);
+                t.row(row);
             }
         }
         println!("--- {} ---", spec.name);

@@ -3,39 +3,72 @@
 //! discusses in prose but leaves out of Figure 3 "to prevent
 //! overcrowding".
 
-use ssm_bench::{fmt_speedup, note, Harness};
-use ssm_core::{CommPreset, LayerConfig, Protocol, ProtoPreset};
+use ssm_bench::{fmt_speedup_opt, report_failures};
+use ssm_core::{CommPreset, LayerConfig, ProtoPreset, Protocol};
 use ssm_stats::Table;
+use ssm_sweep::{run_sweep, Cell, SweepCli};
+
+const COMMS: [CommPreset; 5] = [
+    CommPreset::Worse,
+    CommPreset::Achievable,
+    CommPreset::Halfway,
+    CommPreset::Best,
+    CommPreset::BetterThanBest,
+];
+
+const PROTOS: [ProtoPreset; 3] = [
+    ProtoPreset::Original,
+    ProtoPreset::Halfway,
+    ProtoPreset::Best,
+];
 
 fn main() {
-    let mut h = Harness::from_args();
-    let default = ["FFT", "Ocean-Contiguous", "Barnes-original", "Water-Nsquared"];
-    let apps: Vec<_> = h
+    let cli = SweepCli::parse();
+    let default = [
+        "FFT",
+        "Ocean-Contiguous",
+        "Barnes-original",
+        "Water-Nsquared",
+    ];
+    let apps: Vec<_> = cli
         .apps()
         .into_iter()
-        .filter(|a| !h.filter.is_empty() || default.contains(&a.name))
+        .filter(|a| !cli.filter.is_empty() || default.contains(&a.name))
         .collect();
     println!(
-        "Full configuration grid (HLRC speedups), {} processors, scale {:?}.\n\
+        "Full configuration grid (HLRC speedups), {}.\n\
          Rows: communication preset; columns: protocol preset.\n",
-        h.procs, h.scale
+        cli.describe()
     );
-    for spec in apps {
-        let mut t = Table::new(vec!["comm \\ proto", "O", "H", "B"]);
-        for comm in [
-            CommPreset::Worse,
-            CommPreset::Achievable,
-            CommPreset::Halfway,
-            CommPreset::Best,
-            CommPreset::BetterThanBest,
-        ] {
-            let mut cells = vec![comm.label().to_string()];
-            for proto in [ProtoPreset::Original, ProtoPreset::Halfway, ProtoPreset::Best] {
-                note(&format!("{} {}{}", spec.name, comm.label(), proto.label()));
-                let r = h.run(&spec, Protocol::Hlrc, LayerConfig { comm, proto });
-                cells.push(fmt_speedup(h.speedup(&spec, &r)));
+    let cell = |app: &str, comm, proto| {
+        Cell::new(
+            app,
+            Protocol::Hlrc,
+            LayerConfig { comm, proto },
+            cli.procs,
+            cli.scale,
+        )
+    };
+    let mut cells = Vec::new();
+    for spec in &apps {
+        cells.push(Cell::baseline(spec.name, cli.scale));
+        for comm in COMMS {
+            for proto in PROTOS {
+                cells.push(cell(spec.name, comm, proto));
             }
-            t.row(cells);
+        }
+    }
+    let run = run_sweep(&cells, &cli.opts());
+    report_failures(&run);
+
+    for spec in &apps {
+        let mut t = Table::new(vec!["comm \\ proto", "O", "H", "B"]);
+        for comm in COMMS {
+            let mut row = vec![comm.label().to_string()];
+            for proto in PROTOS {
+                row.push(fmt_speedup_opt(run.speedup(&cell(spec.name, comm, proto))));
+            }
+            t.row(row);
         }
         println!("--- {} ---", spec.name);
         println!("{t}");

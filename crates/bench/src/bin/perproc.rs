@@ -3,40 +3,57 @@
 //! breakdowns", §3.4; e.g. Radix's imbalanced data-wait times and
 //! Volrend's compute balance under task stealing).
 //!
-//! Usage: `--app NAME` (defaults to Radix), plus the usual
-//! `--procs/--scale` flags.
+//! Usage: `--app NAME` (defaults to Radix), plus the usual sweep flags.
 
-use ssm_bench::{note, Harness};
+use ssm_bench::report_failures;
 use ssm_core::{LayerConfig, Protocol};
 use ssm_stats::{Bucket, Table};
+use ssm_sweep::{run_sweep, Cell, SweepCli};
 
 fn main() {
-    let mut h = Harness::from_args();
-    if h.filter.is_empty() {
-        h.filter = "Radix".to_string();
+    let mut cli = SweepCli::parse();
+    if cli.filter.is_empty() {
+        cli.filter = "Radix".to_string();
     }
-    for spec in h.apps() {
-        note(&format!("running {}", spec.name));
-        let r = h.run(&spec, Protocol::Hlrc, LayerConfig::base());
-        println!(
-            "--- {} (HLRC, AO, {} processors, scale {:?}) ---",
-            spec.name, h.procs, h.scale
-        );
+    let apps = cli.apps();
+    let cells: Vec<Cell> = apps
+        .iter()
+        .map(|spec| {
+            Cell::new(
+                spec.name,
+                Protocol::Hlrc,
+                LayerConfig::base(),
+                cli.procs,
+                cli.scale,
+            )
+        })
+        .collect();
+    let run = run_sweep(&cells, &cli.opts());
+    report_failures(&run);
+
+    for (spec, cell) in apps.iter().zip(&cells) {
+        let Some(rec) = run.record(cell) else {
+            continue;
+        };
+        println!("--- {} (HLRC, AO, {}) ---", spec.name, cli.describe());
         let mut head = vec!["proc".to_string()];
         head.extend(Bucket::ALL.iter().map(|b| b.label().to_string()));
         head.push("total".to_string());
         let mut t = Table::new(head);
-        for (p, b) in r.per_proc.iter().enumerate() {
-            let mut cells = vec![format!("P{p}")];
-            cells.extend(Bucket::ALL.iter().map(|k| b.get(*k).to_string()));
-            cells.push(b.total().to_string());
-            t.row(cells);
+        for p in 0..rec.per_proc.len() {
+            let b = rec.breakdown(p);
+            let mut row = vec![format!("P{p}")];
+            row.extend(Bucket::ALL.iter().map(|k| b.get(*k).to_string()));
+            row.push(b.total().to_string());
+            t.row(row);
         }
         println!("{t}");
         // Imbalance summary: max/mean per bucket.
         let mut t = Table::new(vec!["bucket", "mean", "max", "max/mean"]);
         for k in Bucket::ALL {
-            let vals: Vec<u64> = r.per_proc.iter().map(|b| b.get(k)).collect();
+            let vals: Vec<u64> = (0..rec.per_proc.len())
+                .map(|p| rec.breakdown(p).get(k))
+                .collect();
             let mean = vals.iter().sum::<u64>() as f64 / vals.len() as f64;
             let max = *vals.iter().max().expect("nonempty") as f64;
             t.row(vec![

@@ -6,104 +6,83 @@
 //!     --app Barnes-original --protocol hlrc --comm A --proto O \
 //!     --procs 16 --scale bench --breakdown --counters --perproc
 //! ```
+//!
+//! Shares the sweep cache: a cell this runner executes is a cache hit for
+//! every figure/table binary, and vice versa.
 
-use ssm_apps::catalog::{by_name, suite, Scale};
-use ssm_core::{sequential_baseline, Protocol, SimBuilder};
-use ssm_net::CommParams;
-use ssm_proto::{HomePolicy, ProtoCosts};
+use ssm_apps::catalog::{by_name, suite};
+use ssm_core::{CommPreset, LayerConfig, ProtoPreset, Protocol};
+use ssm_proto::HomePolicy;
 use ssm_stats::{Bucket, Table};
-
-struct Args {
-    app: String,
-    protocol: Protocol,
-    comm: CommParams,
-    costs: ProtoCosts,
-    procs: usize,
-    scale: Scale,
-    homes: HomePolicy,
-    sc_block: Option<u64>,
-    breakdown: bool,
-    counters: bool,
-    perproc: bool,
-}
+use ssm_sweep::{run_sweep, Cell, CellStatus, SweepCli};
 
 fn usage() -> ! {
     eprintln!(
         "usage: run --app NAME [--protocol hlrc|aurc|sc|sc-delayed|ideal] \
          [--comm A|B|B+|H|W] [--proto O|H|B] [--procs N] \
          [--scale test|bench|full] [--homes rr|first-touch] [--block BYTES] \
+         [--jobs N] [--no-cache] [--results DIR] \
          [--breakdown] [--counters] [--perproc] [--list]"
     );
     std::process::exit(2)
 }
 
-fn parse() -> Args {
-    let mut a = Args {
-        app: String::new(),
-        protocol: Protocol::Hlrc,
-        comm: CommParams::achievable(),
-        costs: ProtoCosts::original(),
-        procs: 16,
-        scale: Scale::Bench,
-        homes: HomePolicy::RoundRobin,
-        sc_block: None,
-        breakdown: false,
-        counters: false,
-        perproc: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut val = || it.next().unwrap_or_else(|| usage());
-        match flag.as_str() {
-            "--app" => a.app = val(),
+#[derive(Default)]
+struct Extra {
+    protocol: Option<Protocol>,
+    comm: Option<CommPreset>,
+    proto: Option<ProtoPreset>,
+    homes: Option<HomePolicy>,
+    sc_block: Option<u64>,
+    breakdown: bool,
+    counters: bool,
+    perproc: bool,
+}
+
+fn parse() -> (SweepCli, Extra) {
+    let mut x = Extra::default();
+    let cli = SweepCli::parse_with(|flag, args| {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match flag {
             "--protocol" => {
-                a.protocol = match val().as_str() {
+                x.protocol = Some(match val().as_str() {
                     "hlrc" => Protocol::Hlrc,
                     "aurc" => Protocol::Aurc,
                     "sc" => Protocol::Sc,
                     "sc-delayed" => Protocol::ScDelayed,
                     "ideal" => Protocol::Ideal,
                     _ => usage(),
-                }
+                })
             }
             "--comm" => {
-                a.comm = match val().as_str() {
-                    "A" => CommParams::achievable(),
-                    "B" => CommParams::best(),
-                    "B+" => CommParams::better_than_best(),
-                    "H" => CommParams::halfway(),
-                    "W" => CommParams::worse(),
+                x.comm = Some(match val().as_str() {
+                    "A" => CommPreset::Achievable,
+                    "B" => CommPreset::Best,
+                    "B+" => CommPreset::BetterThanBest,
+                    "H" => CommPreset::Halfway,
+                    "W" => CommPreset::Worse,
                     _ => usage(),
-                }
+                })
             }
             "--proto" => {
-                a.costs = match val().as_str() {
-                    "O" => ProtoCosts::original(),
-                    "H" => ProtoCosts::halfway(),
-                    "B" => ProtoCosts::best(),
+                x.proto = Some(match val().as_str() {
+                    "O" => ProtoPreset::Original,
+                    "H" => ProtoPreset::Halfway,
+                    "B" => ProtoPreset::Best,
                     _ => usage(),
-                }
-            }
-            "--procs" => a.procs = val().parse().unwrap_or_else(|_| usage()),
-            "--scale" => {
-                a.scale = match val().as_str() {
-                    "test" => Scale::Test,
-                    "bench" => Scale::Bench,
-                    "full" => Scale::Full,
-                    _ => usage(),
-                }
+                })
             }
             "--homes" => {
-                a.homes = match val().as_str() {
+                x.homes = Some(match val().as_str() {
                     "rr" => HomePolicy::RoundRobin,
                     "first-touch" => HomePolicy::FirstTouch,
                     _ => usage(),
-                }
+                })
             }
-            "--block" => a.sc_block = Some(val().parse().unwrap_or_else(|_| usage())),
-            "--breakdown" => a.breakdown = true,
-            "--counters" => a.counters = true,
-            "--perproc" => a.perproc = true,
+            "--block" => x.sc_block = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--breakdown" => x.breakdown = true,
+            "--counters" => x.counters = true,
+            "--perproc" => x.perproc = true,
             "--list" => {
                 for s in suite() {
                     println!("{}", s.name);
@@ -112,45 +91,75 @@ fn parse() -> Args {
             }
             _ => usage(),
         }
-    }
-    if a.app.is_empty() {
-        usage();
-    }
-    a
+    });
+    (cli, x)
 }
 
 fn main() {
-    let a = parse();
-    let spec = by_name(&a.app).unwrap_or_else(|| {
-        eprintln!("unknown app {:?}; use --list", a.app);
+    let (cli, x) = parse();
+    if cli.filter.is_empty() {
+        usage();
+    }
+    let spec = by_name(&cli.filter).unwrap_or_else(|| {
+        eprintln!("unknown app {:?}; use --list", cli.filter);
         std::process::exit(2)
     });
-    let block = a.sc_block.unwrap_or(spec.sc_block);
-    let w = spec.build(a.scale);
-    eprintln!("[run] sequential baseline…");
-    let seq = sequential_baseline(w.as_ref()).total_cycles;
-    eprintln!("[run] simulating {} x {:?}…", spec.name, a.protocol);
-    let w = spec.build(a.scale);
-    let r = SimBuilder::new(a.protocol)
-        .procs(a.procs)
-        .comm(a.comm.clone())
-        .proto(a.costs.clone())
-        .sc_block(block)
-        .home_policy(a.homes)
-        .run(w.as_ref())
-        .expect_verified();
-
-    println!("app:        {}", r.app);
-    println!("protocol:   {}", r.protocol);
-    println!("processors: {}", r.nprocs);
-    println!("sequential: {seq} cycles");
-    println!("parallel:   {} cycles", r.total_cycles);
-    println!("speedup:    {:.2}", r.speedup(seq));
-    if a.breakdown {
-        println!("\naverage breakdown: {}", r.avg_breakdown());
+    let cfg = LayerConfig {
+        comm: x.comm.unwrap_or(CommPreset::Achievable),
+        proto: x.proto.unwrap_or(ProtoPreset::Original),
+    };
+    let mut cell = Cell::new(
+        spec.name,
+        x.protocol.unwrap_or(Protocol::Hlrc),
+        cfg,
+        cli.procs,
+        cli.scale,
+    );
+    if let Some(h) = x.homes {
+        cell = cell.with_homes(h);
     }
-    if a.counters {
-        let c = r.counters;
+    if let Some(b) = x.sc_block {
+        cell = cell.with_sc_block(b);
+    }
+
+    let cells = vec![Cell::baseline(spec.name, cli.scale), cell.clone()];
+    let run = run_sweep(&cells, &cli.opts());
+    let outcome = run.outcome(&cell).expect("cell swept");
+    let rec = match &outcome.status {
+        CellStatus::Done(rec) => rec,
+        CellStatus::Failed(e) => {
+            eprintln!("[run] FAILED: {e}");
+            std::process::exit(1)
+        }
+        CellStatus::TimedOut(d) => {
+            eprintln!("[run] timed out after {d:?}");
+            std::process::exit(1)
+        }
+    };
+    let seq = run.record(&cells[0]).map(|r| r.total_cycles);
+
+    println!("cell:       {} ({})", cell.label(), outcome.hash);
+    println!("cached:     {}", outcome.cached);
+    println!("processors: {}", cell.procs);
+    match seq {
+        Some(seq) => println!("sequential: {seq} cycles"),
+        None => println!("sequential: unavailable"),
+    }
+    println!("parallel:   {} cycles", rec.total_cycles);
+    if let Some(s) = run.speedup(&cell) {
+        println!("speedup:    {s:.2}");
+    }
+    if !rec.verified {
+        println!(
+            "verified:   NO — {}",
+            rec.verify_error.as_deref().unwrap_or("unknown")
+        );
+    }
+    if x.breakdown {
+        println!("\naverage breakdown: {}", rec.avg_breakdown());
+    }
+    if x.counters {
+        let c = rec.counters;
         println!(
             "\nmessages={} bytes={} fetches={} diffs={} diff_words={} twins={} \
              auto_updates={} write_notices={} invalidations={} locks={} barriers={}",
@@ -167,14 +176,15 @@ fn main() {
             c.barriers
         );
     }
-    if a.perproc {
+    if x.perproc {
         let mut head = vec!["proc".to_string()];
         head.extend(Bucket::ALL.iter().map(|b| b.label().to_string()));
         let mut t = Table::new(head);
-        for (p, b) in r.per_proc.iter().enumerate() {
-            let mut cells = vec![format!("P{p}")];
-            cells.extend(Bucket::ALL.iter().map(|k| b.get(*k).to_string()));
-            t.row(cells);
+        for p in 0..rec.per_proc.len() {
+            let b = rec.breakdown(p);
+            let mut row = vec![format!("P{p}")];
+            row.extend(Bucket::ALL.iter().map(|k| b.get(*k).to_string()));
+            t.row(row);
         }
         println!("\n{t}");
     }

@@ -7,16 +7,41 @@
 //! * communication idealization before/after protocol idealization
 //!   (AO→BO vs AB→BB).
 
-use ssm_bench::{note, Harness};
-use ssm_core::{CommPreset, LayerConfig, Protocol, ProtoPreset};
+use ssm_bench::report_failures;
+use ssm_core::{CommPreset, LayerConfig, ProtoPreset, Protocol};
 use ssm_stats::Table;
+use ssm_sweep::{run_sweep, Cell, SweepCli};
+
+const CORNERS: [(CommPreset, ProtoPreset); 4] = [
+    (CommPreset::Achievable, ProtoPreset::Original),
+    (CommPreset::Achievable, ProtoPreset::Best),
+    (CommPreset::Best, ProtoPreset::Original),
+    (CommPreset::Best, ProtoPreset::Best),
+];
 
 fn main() {
-    let mut h = Harness::from_args();
-    println!(
-        "Layer synergy under HLRC, {} processors, scale {:?}.\n",
-        h.procs, h.scale
-    );
+    let cli = SweepCli::parse();
+    println!("Layer synergy under HLRC, {}.\n", cli.describe());
+    let apps = cli.apps();
+    let cell = |app: &str, comm, proto| {
+        Cell::new(
+            app,
+            Protocol::Hlrc,
+            LayerConfig { comm, proto },
+            cli.procs,
+            cli.scale,
+        )
+    };
+    let mut cells = Vec::new();
+    for spec in &apps {
+        cells.push(Cell::baseline(spec.name, cli.scale));
+        for (comm, proto) in CORNERS {
+            cells.push(cell(spec.name, comm, proto));
+        }
+    }
+    let run = run_sweep(&cells, &cli.opts());
+    report_failures(&run);
+
     let mut t = Table::new(vec![
         "Application",
         "AO->AB",
@@ -25,17 +50,24 @@ fn main() {
         "AB->BB",
         "synergy",
     ]);
-    for spec in h.apps() {
-        note(&format!("running {}", spec.name));
-        let mut s = |comm: CommPreset, proto: ProtoPreset| {
-            let r = h.run(&spec, Protocol::Hlrc, LayerConfig { comm, proto });
-            let b = h.baseline(&spec);
-            r.speedup(b)
+    for spec in &apps {
+        let s = |comm, proto| run.speedup(&cell(spec.name, comm, proto));
+        let (Some(ao), Some(ab), Some(bo), Some(bb)) = (
+            s(CommPreset::Achievable, ProtoPreset::Original),
+            s(CommPreset::Achievable, ProtoPreset::Best),
+            s(CommPreset::Best, ProtoPreset::Original),
+            s(CommPreset::Best, ProtoPreset::Best),
+        ) else {
+            t.row(vec![
+                spec.name.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
         };
-        let ao = s(CommPreset::Achievable, ProtoPreset::Original);
-        let ab = s(CommPreset::Achievable, ProtoPreset::Best);
-        let bo = s(CommPreset::Best, ProtoPreset::Original);
-        let bb = s(CommPreset::Best, ProtoPreset::Best);
         let pct = |from: f64, to: f64| 100.0 * (to - from) / from;
         let proto_before = pct(ao, ab);
         let proto_after = pct(bo, bb);

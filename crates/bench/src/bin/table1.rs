@@ -7,7 +7,12 @@ fn main() {
     println!("Table 1: Applications, problem sizes and instrumentation costs.");
     println!("(Instrumentation cost: Shasta software access control, from the paper;");
     println!(" values the OCR dropped are reconstructed — see DESIGN.md.)\n");
-    let mut t = Table::new(vec!["Application", "Paper size", "Instrum. cost", "SC granularity"]);
+    let mut t = Table::new(vec![
+        "Application",
+        "Paper size",
+        "Instrum. cost",
+        "SC granularity",
+    ]);
     for a in suite() {
         if a.restructured_of.is_some() {
             continue; // Table 1 lists the originals

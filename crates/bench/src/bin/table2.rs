@@ -30,13 +30,24 @@ fn main() {
         }
         cells
     };
-    t.row(row("Host overhead (cycles/msg)", &|s| s.host_overhead.to_string()));
-    t.row(row("I/O bus bandwidth (B/cycle)", &|s| match s.io_bus_rate {
-        Some((b, c)) => format!("{:.2}", b as f64 / c as f64),
-        None => "inf".into(),
+    t.row(row("Host overhead (cycles/msg)", &|s| {
+        s.host_overhead.to_string()
     }));
-    t.row(row("NI occupancy (cycles/pkt)", &|s| s.ni_occupancy.to_string()));
-    t.row(row("Message handling (cycles)", &|s| s.msg_handling.to_string()));
-    t.row(row("Link latency (cycles)", &|s| s.link_latency.to_string()));
+    t.row(row(
+        "I/O bus bandwidth (B/cycle)",
+        &|s| match s.io_bus_rate {
+            Some((b, c)) => format!("{:.2}", b as f64 / c as f64),
+            None => "inf".into(),
+        },
+    ));
+    t.row(row("NI occupancy (cycles/pkt)", &|s| {
+        s.ni_occupancy.to_string()
+    }));
+    t.row(row("Message handling (cycles)", &|s| {
+        s.msg_handling.to_string()
+    }));
+    t.row(row("Link latency (cycles)", &|s| {
+        s.link_latency.to_string()
+    }));
     println!("{t}");
 }

@@ -6,11 +6,21 @@ use ssm_stats::Table;
 
 fn main() {
     println!("Table 3: Protocol cost parameter values.\n");
-    let mut t = Table::new(vec!["Parameter", "O (original)", "H (halfway)", "B (best)", "Units"]);
-    let sets: Vec<_> = [ProtoPreset::Original, ProtoPreset::Halfway, ProtoPreset::Best]
-        .iter()
-        .map(|p| p.costs())
-        .collect();
+    let mut t = Table::new(vec![
+        "Parameter",
+        "O (original)",
+        "H (halfway)",
+        "B (best)",
+        "Units",
+    ]);
+    let sets: Vec<_> = [
+        ProtoPreset::Original,
+        ProtoPreset::Halfway,
+        ProtoPreset::Best,
+    ]
+    .iter()
+    .map(|p| p.costs())
+    .collect();
     let mut row = |name: &str, f: &dyn Fn(&ssm_proto::ProtoCosts) -> String, unit: &str| {
         let mut cells = vec![name.to_string()];
         for s in &sets {
@@ -19,21 +29,44 @@ fn main() {
         cells.push(unit.to_string());
         t.row(cells);
     };
-    row("Page protection", &|c| c.page_protect.to_string(), "cycles/page");
-    row("mprotect startup", &|c| c.mprotect_startup.to_string(), "cycles/call");
+    row(
+        "Page protection",
+        &|c| c.page_protect.to_string(),
+        "cycles/page",
+    );
+    row(
+        "mprotect startup",
+        &|c| c.mprotect_startup.to_string(),
+        "cycles/call",
+    );
     row(
         "Diff creation (compare)",
-        &|c| format!("{:.2}", c.diff_compare.cost(PAGE_WORDS) as f64 / PAGE_WORDS as f64),
+        &|c| {
+            format!(
+                "{:.2}",
+                c.diff_compare.cost(PAGE_WORDS) as f64 / PAGE_WORDS as f64
+            )
+        },
         "cycles/word",
     );
     row(
         "Diff creation (encode)",
-        &|c| format!("{:.2}", c.diff_encode.cost(PAGE_WORDS) as f64 / PAGE_WORDS as f64),
+        &|c| {
+            format!(
+                "{:.2}",
+                c.diff_encode.cost(PAGE_WORDS) as f64 / PAGE_WORDS as f64
+            )
+        },
         "cycles/word",
     );
     row(
         "Diff application",
-        &|c| format!("{:.2}", c.diff_apply.cost(PAGE_WORDS) as f64 / PAGE_WORDS as f64),
+        &|c| {
+            format!(
+                "{:.2}",
+                c.diff_apply.cost(PAGE_WORDS) as f64 / PAGE_WORDS as f64
+            )
+        },
         "cycles/word",
     );
     row(
@@ -42,6 +75,10 @@ fn main() {
         "cycles/word",
     );
     row("Handler (base)", &|c| c.handler_base.to_string(), "cycles");
-    row("Handler (per list element)", &|c| c.per_list_element.to_string(), "cycles");
+    row(
+        "Handler (per list element)",
+        &|c| c.per_list_element.to_string(),
+        "cycles",
+    );
     println!("{t}");
 }

@@ -2,18 +2,34 @@
 //! under HLRC at the base (AO) configuration, split into protocol-handler
 //! execution and diff computation (plus twin/mprotect detail).
 
-use ssm_bench::{note, Harness};
+use ssm_bench::report_failures;
 use ssm_core::{LayerConfig, Protocol};
 use ssm_stats::Table;
+use ssm_sweep::{run_sweep, Cell, SweepCli};
 
 fn main() {
-    let mut h = Harness::from_args();
-    let _ = &mut h;
+    let cli = SweepCli::parse();
     println!(
         "Table 4: % of processor time in protocol activity (HLRC, AO),\n\
-         {} processors, scale {:?}.\n",
-        h.procs, h.scale
+         {}.\n",
+        cli.describe()
     );
+    let apps = cli.apps();
+    let cells: Vec<Cell> = apps
+        .iter()
+        .map(|spec| {
+            Cell::new(
+                spec.name,
+                Protocol::Hlrc,
+                LayerConfig::base(),
+                cli.procs,
+                cli.scale,
+            )
+        })
+        .collect();
+    let run = run_sweep(&cells, &cli.opts());
+    report_failures(&run);
+
     let mut t = Table::new(vec![
         "Application",
         "Total%",
@@ -22,14 +38,25 @@ fn main() {
         "Twin%",
         "Mprotect%",
     ]);
-    for spec in h.apps() {
-        note(&format!("running {}", spec.name));
-        let r = h.run(&spec, Protocol::Hlrc, LayerConfig::base());
+    for (spec, cell) in apps.iter().zip(&cells) {
+        let Some(rec) = run.record(cell) else {
+            t.row(vec![
+                spec.name.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        };
         // Percentages of total (all-processor) execution time, like the
         // paper's Table 4.
-        let wall: u64 = r.per_proc.iter().map(|b| b.total()).sum();
+        let wall: u64 = (0..rec.per_proc.len())
+            .map(|p| rec.breakdown(p).total())
+            .sum();
         let wall = wall.max(1) as f64;
-        let a = r.activity;
+        let a = rec.activity;
         t.row(vec![
             spec.name.to_string(),
             format!("{:.1}", 100.0 * a.total() as f64 / wall),

@@ -2,35 +2,50 @@
 //! more from the base system, whether AB or HB beats BO, and the cheapest
 //! configuration (if any) reaching ~10-fold speedup on 16 processors.
 
-use ssm_bench::{fmt_speedup, note, Harness};
-use ssm_core::{CommPreset, LayerConfig, Protocol, ProtoPreset};
+use ssm_bench::{fmt_speedup_opt, report_failures};
+use ssm_core::{CommPreset, LayerConfig, ProtoPreset, Protocol};
 use ssm_stats::Table;
+use ssm_sweep::{run_sweep, Cell, SweepCli};
 
 fn cfg(comm: CommPreset, proto: ProtoPreset) -> LayerConfig {
     LayerConfig { comm, proto }
 }
 
+/// Configurations ordered from cheapest improvement to most aggressive;
+/// the "first 10x" column reports the first that reaches 10-fold speedup.
+const LADDER: [(CommPreset, ProtoPreset); 10] = [
+    (CommPreset::Achievable, ProtoPreset::Original),
+    (CommPreset::Achievable, ProtoPreset::Halfway),
+    (CommPreset::Halfway, ProtoPreset::Original),
+    (CommPreset::Halfway, ProtoPreset::Halfway),
+    (CommPreset::Achievable, ProtoPreset::Best),
+    (CommPreset::Best, ProtoPreset::Original),
+    (CommPreset::Halfway, ProtoPreset::Best),
+    (CommPreset::Best, ProtoPreset::Halfway),
+    (CommPreset::Best, ProtoPreset::Best),
+    (CommPreset::BetterThanBest, ProtoPreset::Best),
+];
+
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = SweepCli::parse();
     println!(
-        "Table 5: per-application summary (HLRC), {} processors, scale {:?}.\n",
-        h.procs, h.scale
+        "Table 5: per-application summary (HLRC), {}.\n",
+        cli.describe()
     );
-    // The ladder orders configurations from cheapest improvement to most
-    // aggressive; the "10x config" column reports the first that reaches
-    // 10-fold speedup.
-    let ladder = [
-        cfg(CommPreset::Achievable, ProtoPreset::Original),
-        cfg(CommPreset::Achievable, ProtoPreset::Halfway),
-        cfg(CommPreset::Halfway, ProtoPreset::Original),
-        cfg(CommPreset::Halfway, ProtoPreset::Halfway),
-        cfg(CommPreset::Achievable, ProtoPreset::Best),
-        cfg(CommPreset::Best, ProtoPreset::Original),
-        cfg(CommPreset::Halfway, ProtoPreset::Best),
-        cfg(CommPreset::Best, ProtoPreset::Halfway),
-        cfg(CommPreset::Best, ProtoPreset::Best),
-        cfg(CommPreset::BetterThanBest, ProtoPreset::Best),
-    ];
+    let apps = cli.apps();
+    let cell = |app: &str, comm, proto| {
+        Cell::new(app, Protocol::Hlrc, cfg(comm, proto), cli.procs, cli.scale)
+    };
+    let mut cells = Vec::new();
+    for spec in &apps {
+        cells.push(Cell::baseline(spec.name, cli.scale));
+        for (comm, proto) in LADDER {
+            cells.push(cell(spec.name, comm, proto));
+        }
+    }
+    let run = run_sweep(&cells, &cli.opts());
+    report_failures(&run);
+
     let mut t = Table::new(vec![
         "Application",
         "AO",
@@ -41,31 +56,32 @@ fn main() {
         "AB|HB > BO?",
         "first 10x",
     ]);
-    for spec in h.apps() {
-        note(&format!("running {}", spec.name));
-        let s = |h: &mut Harness, c: LayerConfig| {
-            let r = h.run(&spec, Protocol::Hlrc, c);
-            h.speedup(&spec, &r)
+    for spec in &apps {
+        let s = |comm, proto| run.speedup(&cell(spec.name, comm, proto));
+        let ao = s(CommPreset::Achievable, ProtoPreset::Original);
+        let ab = s(CommPreset::Achievable, ProtoPreset::Best);
+        let bo = s(CommPreset::Best, ProtoPreset::Original);
+        let hb = s(CommPreset::Halfway, ProtoPreset::Best);
+        let (more, beats) = match (ab, bo, hb) {
+            (Some(ab), Some(bo), Some(hb)) => (
+                if bo > ab { "communication" } else { "protocol" },
+                if ab > bo || hb > bo { "yes" } else { "no" },
+            ),
+            _ => ("-", "-"),
         };
-        let ao = s(&mut h, cfg(CommPreset::Achievable, ProtoPreset::Original));
-        let ab = s(&mut h, cfg(CommPreset::Achievable, ProtoPreset::Best));
-        let bo = s(&mut h, cfg(CommPreset::Best, ProtoPreset::Original));
-        let hb = s(&mut h, cfg(CommPreset::Halfway, ProtoPreset::Best));
-        let more = if bo > ab { "communication" } else { "protocol" };
-        let beats = if ab > bo || hb > bo { "yes" } else { "no" };
-        let mut first10 = "none".to_string();
-        for c in ladder {
-            if s(&mut h, c) >= 10.0 {
-                first10 = c.label();
-                break;
-            }
-        }
+        let first10 = LADDER
+            .into_iter()
+            .find(|&(comm, proto)| s(comm, proto) >= Some(10.0))
+            .map_or_else(
+                || "none".to_string(),
+                |(comm, proto)| cfg(comm, proto).label(),
+            );
         t.row(vec![
             spec.name.to_string(),
-            fmt_speedup(ao),
-            fmt_speedup(ab),
-            fmt_speedup(bo),
-            fmt_speedup(hb),
+            fmt_speedup_opt(ao),
+            fmt_speedup_opt(ab),
+            fmt_speedup_opt(bo),
+            fmt_speedup_opt(hb),
             more.to_string(),
             beats.to_string(),
             first10,

@@ -26,12 +26,20 @@ fn main() {
     // 1. Zero-load 64-byte message: out-bus + NI + link + in-bus.
     let mut net = Network::new(2, p.clone());
     let analytic = 64 * 2 + p.ni_occupancy + p.link_latency + 64 * 2;
-    row("64 B message latency (cycles)", analytic, net.deliver(0, 0, 1, 64));
+    row(
+        "64 B message latency (cycles)",
+        analytic,
+        net.deliver(0, 0, 1, 64),
+    );
 
     // 2. Zero-load 4 KB page: dominated by two bus crossings.
     let mut net = Network::new(2, p.clone());
     let analytic = 4096 * 2 + p.ni_occupancy + p.link_latency + 4096 * 2;
-    row("4 KB page latency (cycles)", analytic, net.deliver(0, 0, 1, 4096));
+    row(
+        "4 KB page latency (cycles)",
+        analytic,
+        net.deliver(0, 0, 1, 4096),
+    );
 
     // 3. Back-to-back pages saturate the I/O bus: n-th completion ~
     //    first + (n-1) * bus time of one page (out bus is the bottleneck).
@@ -51,12 +59,7 @@ fn main() {
     // 4. HLRC page fetch: fault handler + request + home service + reply +
     //    mprotect.
     let costs = ProtoCosts::original();
-    let m = Machine::new(
-        2,
-        p.clone(),
-        costs.clone(),
-        MemConfig::pentium_pro_like(),
-    );
+    let m = Machine::new(2, p.clone(), costs.clone(), MemConfig::pentium_pro_like());
     let mut m = m;
     let mut hlrc = ssm_hlrc::Hlrc::new();
     hlrc.init(
@@ -82,16 +85,15 @@ fn main() {
         + p.host_overhead                               // reply send
         + wire(4096 + 16)                               // page wire
         + costs.mprotect(1)                             // map read-only
-        + (8 + 60 + 32 / 2);                            // cold cache fill of the accessed line
-    row("HLRC page fetch+access (cycles)", analytic, hlrc.read(&mut m, 1, 0, 8));
+        + (8 + 60 + 32 / 2); // cold cache fill of the accessed line
+    row(
+        "HLRC page fetch+access (cycles)",
+        analytic,
+        hlrc.read(&mut m, 1, 0, 8),
+    );
 
     // 5. Remote lock round trip (free lock, no notices): request + grant.
-    let mut m2 = Machine::new(
-        2,
-        p.clone(),
-        costs.clone(),
-        MemConfig::pentium_pro_like(),
-    );
+    let mut m2 = Machine::new(2, p.clone(), costs.clone(), MemConfig::pentium_pro_like());
     let mut h2 = ssm_hlrc::Hlrc::new();
     h2.init(
         &m2,
@@ -103,10 +105,12 @@ fn main() {
     );
     let analytic = p.host_overhead
         + (64 * 2 + p.ni_occupancy + p.link_latency + 64 * 2)
-        + p.msg_handling + costs.handler_base
+        + p.msg_handling
+        + costs.handler_base
         + p.host_overhead
         + (16 * 2 + p.ni_occupancy + p.link_latency + 16 * 2)
-        + p.msg_handling + costs.handler_base;
+        + p.msg_handling
+        + costs.handler_base;
     // Lock 1 is managed by node 1; node 0 acquires remotely.
     let got = h2.lock(&mut m2, 0, LockId(1)).expect("free lock");
     row("remote lock acquire (cycles)", analytic, got);

@@ -1,142 +1,24 @@
-//! Benchmark harness for the `ssm` reproduction: shared runner utilities
-//! used by the per-table/per-figure binaries (`src/bin/`) and the
-//! Criterion micro-benchmarks (`benches/`).
+//! Shared rendering/timing utilities for the `ssm` benchmark binaries.
 //!
-//! Every binary accepts the same flags:
+//! Sweep execution (cell enumeration, parallelism, caching, the common
+//! command line) lives in [`ssm_sweep`]; the binaries in `src/bin/` only
+//! enumerate cells and render figures/tables from the sweep's results.
+//! This crate keeps the few pieces that are about *presentation* and the
+//! std-only timing loop the `benches/` targets use (the hermetic build has
+//! no Criterion).
 //!
-//! * `--procs N` — simulated processors (default 16, the paper's scale);
-//! * `--scale test|bench|full` — problem sizes (default `bench`; see
-//!   `ssm_apps::catalog::Scale`);
-//! * `--app NAME` — restrict to applications whose name contains `NAME`.
-//!
-//! Run e.g. `cargo run --release -p ssm-bench --bin figure3`.
+//! Run e.g. `cargo run --release -p ssm-bench --bin figure3 -- --jobs 8`.
 
-use std::collections::HashMap;
-
-use ssm_apps::catalog::{suite, AppSpec, Scale};
-use ssm_core::{sequential_baseline, LayerConfig, Protocol, RunResult, SimBuilder};
-
-/// Command-line configuration shared by all harness binaries.
-#[derive(Debug, Clone)]
-pub struct Harness {
-    /// Simulated processor count.
-    pub procs: usize,
-    /// Problem-size scale.
-    pub scale: Scale,
-    /// Substring filter on application names (empty = all).
-    pub filter: String,
-    /// Cached sequential baselines, keyed by app name.
-    baselines: HashMap<String, u64>,
-}
-
-impl Harness {
-    /// Parses `--procs`, `--scale` and `--app` from `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn from_args() -> Self {
-        let mut procs = 16usize;
-        let mut scale = Scale::Bench;
-        let mut filter = String::new();
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--procs" => {
-                    procs = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--procs needs a number");
-                }
-                "--scale" => {
-                    scale = match args.next().as_deref() {
-                        Some("test") => Scale::Test,
-                        Some("bench") => Scale::Bench,
-                        Some("full") => Scale::Full,
-                        other => panic!("--scale test|bench|full, got {other:?}"),
-                    };
-                }
-                "--app" => {
-                    filter = args.next().expect("--app needs a name");
-                }
-                other => panic!("unknown flag {other}; use --procs/--scale/--app"),
-            }
-        }
-        Harness {
-            procs,
-            scale,
-            filter,
-            baselines: HashMap::new(),
-        }
-    }
-
-    /// A harness with explicit settings (used by tests).
-    pub fn fixed(procs: usize, scale: Scale) -> Self {
-        Harness {
-            procs,
-            scale,
-            filter: String::new(),
-            baselines: HashMap::new(),
-        }
-    }
-
-    /// The selected applications.
-    pub fn apps(&self) -> Vec<AppSpec> {
-        suite()
-            .into_iter()
-            .filter(|a| self.filter.is_empty() || a.name.contains(&self.filter))
-            .collect()
-    }
-
-    /// The sequential baseline (best sequential version) for `spec`,
-    /// cached across calls.
-    pub fn baseline(&mut self, spec: &AppSpec) -> u64 {
-        let scale = self.scale;
-        if let Some(&b) = self.baselines.get(spec.name) {
-            return b;
-        }
-        let w = spec.build(scale);
-        let b = sequential_baseline(w.as_ref()).total_cycles;
-        self.baselines.insert(spec.name.to_string(), b);
-        b
-    }
-
-    /// Runs `spec` under `protocol` at layer configuration `cfg`.
-    /// SC automatically uses the application's best granularity.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the workload fails verification — a harness run must
-    /// never report timings for a wrong answer.
-    pub fn run(&self, spec: &AppSpec, protocol: Protocol, cfg: LayerConfig) -> RunResult {
-        let w = spec.build(self.scale);
-        SimBuilder::new(protocol)
-            .procs(self.procs)
-            .layers(cfg)
-            .sc_block(spec.sc_block)
-            .run(w.as_ref())
-            .expect_verified()
-    }
-
-    /// Runs the IDEAL machine for `spec` (the paper's topmost bar).
-    pub fn ideal(&self, spec: &AppSpec) -> RunResult {
-        let w = spec.build(self.scale);
-        SimBuilder::new(Protocol::Ideal)
-            .procs(self.procs)
-            .run(w.as_ref())
-            .expect_verified()
-    }
-
-    /// Speedup of `r` for `spec` against the cached baseline.
-    pub fn speedup(&mut self, spec: &AppSpec, r: &RunResult) -> f64 {
-        let b = self.baseline(spec);
-        r.speedup(b)
-    }
-}
+use std::time::Instant;
 
 /// Formats a speedup cell.
 pub fn fmt_speedup(s: f64) -> String {
     format!("{s:.2}")
+}
+
+/// Formats an optional speedup cell (`-` for a failed/missing cell).
+pub fn fmt_speedup_opt(s: Option<f64>) -> String {
+    s.map_or_else(|| "-".to_string(), fmt_speedup)
 }
 
 /// Prints a progress note to stderr (kept out of the table output).
@@ -144,29 +26,126 @@ pub fn note(msg: &str) {
     eprintln!("[ssm-bench] {msg}");
 }
 
+/// Reports every failed, timed-out or unverified cell of a sweep to
+/// stderr, so a `-` in a rendered table is always explained.
+pub fn report_failures(run: &ssm_sweep::SweepRun) {
+    use ssm_sweep::CellStatus;
+    for o in &run.outcomes {
+        match &o.status {
+            CellStatus::Done(rec) if !rec.verified => note(&format!(
+                "{}: verification FAILED: {}",
+                o.cell.label(),
+                rec.verify_error.as_deref().unwrap_or("unknown")
+            )),
+            CellStatus::Failed(e) => note(&format!("{}: FAILED: {e}", o.cell.label())),
+            CellStatus::TimedOut(d) => {
+                note(&format!("{}: timed out after {d:?}", o.cell.label()));
+            }
+            CellStatus::Done(_) => {}
+        }
+    }
+}
+
+/// A measured timing sample from [`bench`].
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Iterations per sample batch.
+    pub iters: u32,
+    /// Best (minimum) nanoseconds per iteration across batches.
+    pub best_ns: f64,
+    /// Mean nanoseconds per iteration across batches.
+    pub mean_ns: f64,
+}
+
+/// Measures `f` and prints one `name: best .. mean ns/iter` line — a
+/// dependency-free stand-in for a micro-benchmark harness. The workload's
+/// result is returned through a volatile sink so the optimizer cannot
+/// delete it.
+///
+/// Calibrates the iteration count so one batch takes roughly
+/// `SSM_BENCH_MS` milliseconds (default 50), then times `SSM_BENCH_BATCHES`
+/// batches (default 5).
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Sample {
+    let target_ms: u64 = std::env::var("SSM_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let batches: u32 = std::env::var("SSM_BENCH_BATCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+
+    // Calibrate: double the batch size until it costs >= target/4.
+    let mut iters: u32 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() as u64 * 4 >= target_ms || iters >= 1 << 20 {
+            let per = (elapsed.as_nanos() as f64 / f64::from(iters)).max(1.0);
+            let want = (target_ms as f64 * 1e6 / per).clamp(1.0, f64::from(1u32 << 20));
+            iters = want as u32;
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut best = f64::INFINITY;
+    let mut sum = 0.0f64;
+    for _ in 0..batches {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let per = t.elapsed().as_nanos() as f64 / f64::from(iters);
+        best = best.min(per);
+        sum += per;
+    }
+    let sample = Sample {
+        iters,
+        best_ns: best,
+        mean_ns: sum / f64::from(batches),
+    };
+    println!(
+        "{name}: {:>12} ns/iter (best), {:>12} ns/iter (mean), {} iters x {batches}",
+        format_ns(sample.best_ns),
+        format_ns(sample.mean_ns),
+        iters
+    );
+    sample
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn harness_runs_one_cell() {
-        let mut h = Harness::fixed(2, Scale::Test);
-        let spec = ssm_apps::catalog::by_name("LU-Contiguous").expect("LU");
-        let r = h.run(&spec, Protocol::Hlrc, LayerConfig::base());
-        let s = h.speedup(&spec, &r);
-        assert!(s > 0.0);
-        // Baseline is cached.
-        assert_eq!(h.baselines.len(), 1);
-        let _ = h.baseline(&spec);
-        assert_eq!(h.baselines.len(), 1);
+    fn fmt_speedup_renders() {
+        assert_eq!(fmt_speedup(12.3456), "12.35");
+        assert_eq!(fmt_speedup_opt(Some(2.0)), "2.00");
+        assert_eq!(fmt_speedup_opt(None), "-");
     }
 
     #[test]
-    fn filter_selects_apps() {
-        let mut h = Harness::fixed(2, Scale::Test);
-        h.filter = "Water".to_string();
-        let apps = h.apps();
-        assert_eq!(apps.len(), 2);
-        assert!(apps.iter().all(|a| a.name.contains("Water")));
+    fn bench_measures_and_returns() {
+        std::env::set_var("SSM_BENCH_MS", "1");
+        std::env::set_var("SSM_BENCH_BATCHES", "2");
+        let s = bench("test/noop", || 1 + 1);
+        assert!(s.iters >= 1);
+        assert!(s.best_ns > 0.0);
+        assert!(s.mean_ns >= s.best_ns);
     }
 }

@@ -67,7 +67,11 @@ pub enum ProtoPreset {
 
 impl ProtoPreset {
     /// All presets in best-to-worst order.
-    pub const ALL: [ProtoPreset; 3] = [ProtoPreset::Best, ProtoPreset::Halfway, ProtoPreset::Original];
+    pub const ALL: [ProtoPreset; 3] = [
+        ProtoPreset::Best,
+        ProtoPreset::Halfway,
+        ProtoPreset::Original,
+    ];
 
     /// The cost values for this preset.
     pub fn costs(self) -> ProtoCosts {
@@ -189,8 +193,7 @@ mod tests {
     fn grid_is_complete() {
         let g = LayerConfig::full_grid();
         assert_eq!(g.len(), 15);
-        let labels: std::collections::HashSet<String> =
-            g.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<String> = g.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 15);
         assert!(labels.contains("HB"));
         assert!(labels.contains("WO"));

@@ -45,7 +45,7 @@ pub mod config;
 pub mod driver;
 pub mod result;
 
-pub use config::{CommPreset, LayerConfig, Protocol, ProtoPreset};
+pub use config::{CommPreset, LayerConfig, ProtoPreset, Protocol};
 pub use driver::run_simulation;
 pub use result::RunResult;
 
@@ -273,9 +273,15 @@ mod tests {
     #[test]
     fn hlrc_slower_than_ideal_and_faster_when_best() {
         let w = SumAll::new(4);
-        let ideal = SimBuilder::new(Protocol::Ideal).procs(4).run(&w).total_cycles;
+        let ideal = SimBuilder::new(Protocol::Ideal)
+            .procs(4)
+            .run(&w)
+            .total_cycles;
         let w = SumAll::new(4);
-        let base = SimBuilder::new(Protocol::Hlrc).procs(4).run(&w).total_cycles;
+        let base = SimBuilder::new(Protocol::Hlrc)
+            .procs(4)
+            .run(&w)
+            .total_cycles;
         let w = SumAll::new(4);
         let best = SimBuilder::new(Protocol::Hlrc)
             .procs(4)

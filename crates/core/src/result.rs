@@ -58,7 +58,10 @@ impl RunResult {
     /// result.
     pub fn expect_verified(self) -> Self {
         if let Some(err) = &self.verify_error {
-            panic!("{} under {}: verification failed: {err}", self.app, self.protocol);
+            panic!(
+                "{} under {}: verification failed: {err}",
+                self.app, self.protocol
+            );
         }
         self
     }

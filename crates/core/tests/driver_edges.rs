@@ -42,7 +42,12 @@ impl Workload for Empty {
 
 #[test]
 fn empty_workload_finishes_at_time_zero() {
-    for proto in [Protocol::Ideal, Protocol::Hlrc, Protocol::Aurc, Protocol::Sc] {
+    for proto in [
+        Protocol::Ideal,
+        Protocol::Hlrc,
+        Protocol::Aurc,
+        Protocol::Sc,
+    ] {
         let r = SimBuilder::new(proto).procs(4).run(&Empty);
         assert_eq!(r.total_cycles, 0, "{proto:?}");
         assert_eq!(r.counters.messages, 0, "{proto:?}");

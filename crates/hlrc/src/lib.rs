@@ -41,12 +41,11 @@ mod pages;
 pub use notices::{NoticeBoard, VectorTime};
 pub use pages::{DirtyBits, NodePages, PageState};
 
-
 use ssm_engine::Cycles;
 use ssm_proto::machine::Activity;
 use ssm_proto::{
-    page_of, BarrierId, BarrierTable, HomeMap, HomePolicy, LockId, LockTable, Machine,
-    Protocol, WorldShape, PAGE_SIZE, PAGE_WORDS, WORD_BYTES,
+    page_of, BarrierId, BarrierTable, HomeMap, HomePolicy, LockId, LockTable, Machine, Protocol,
+    WorldShape, PAGE_SIZE, PAGE_WORDS, WORD_BYTES,
 };
 
 /// Bytes of a small control message (requests, acks; includes a vector
@@ -267,8 +266,22 @@ impl Hlrc {
         // Diff creation: compare every word, encode the dirty ones.
         let create = m.costs().diff_compare.cost(PAGE_WORDS) + m.costs().diff_encode.cost(dirty);
         let t = m.proto_work(p, t, create, Activity::DiffCreate);
-        let t = m.proto_touch(p, t, page * PAGE_SIZE, PAGE_SIZE, false, Activity::DiffCreate);
-        let t = m.proto_touch(p, t, self.twin_addr(page), PAGE_SIZE, false, Activity::DiffCreate);
+        let t = m.proto_touch(
+            p,
+            t,
+            page * PAGE_SIZE,
+            PAGE_SIZE,
+            false,
+            Activity::DiffCreate,
+        );
+        let t = m.proto_touch(
+            p,
+            t,
+            self.twin_addr(page),
+            PAGE_SIZE,
+            false,
+            Activity::DiffCreate,
+        );
         // Ship it.
         let bytes = HDR_BYTES + DIFF_WORD_BYTES * dirty;
         let (local, arr) = m.send_from_handler(p, t, h, bytes);
@@ -276,7 +289,14 @@ impl Hlrc {
         let th = m.handle_request(h, arr, 0);
         let apply = m.costs().diff_apply.cost(dirty);
         let th = m.proto_work(h, th, apply, Activity::DiffApply);
-        let th = m.proto_touch(h, th, page * PAGE_SIZE, PAGE_SIZE, true, Activity::DiffApply);
+        let th = m.proto_touch(
+            h,
+            th,
+            page * PAGE_SIZE,
+            PAGE_SIZE,
+            true,
+            Activity::DiffApply,
+        );
         let c = m.counters_mut(p);
         c.diffs += 1;
         c.diff_words += dirty;
@@ -293,8 +313,9 @@ impl Hlrc {
             // Pages stay writable (no downgrade: future writes keep
             // streaming updates).
             let done = t.max(self.inflight[p]);
-            let mut notice_pages: Vec<u64> =
-                std::mem::take(&mut self.auto_written[p]).into_iter().collect();
+            let mut notice_pages: Vec<u64> = std::mem::take(&mut self.auto_written[p])
+                .into_iter()
+                .collect();
             notice_pages.extend(self.pages[p].take_home_written());
             self.board.record_interval(p, notice_pages);
             return done;
@@ -464,8 +485,8 @@ impl Protocol for Hlrc {
         let last = page_of(addr + bytes - 1);
         let mut all_local = true;
         for page in first..=last {
-            let was_writable = self.homes.home(page, p) == p
-                || self.pages[p].state(page) == PageState::ReadWrite;
+            let was_writable =
+                self.homes.home(page, p) == p || self.pages[p].state(page) == PageState::ReadWrite;
             if !was_writable {
                 all_local = false;
             }
@@ -625,14 +646,21 @@ mod tests {
     fn remote_read_fetches_page_once() {
         let (mut m, mut h) = setup(4);
         let t1 = h.read(&mut m, 1, 0, 8); // page 0 homed at 0
-        assert!(t1 > 2000, "page fetch should cost thousands of cycles, got {t1}");
+        assert!(
+            t1 > 2000,
+            "page fetch should cost thousands of cycles, got {t1}"
+        );
         assert_eq!(m.counters()[1].fetches, 1);
         assert_eq!(h.page_state(1, 0), PageState::ReadOnly);
         // Second read is local.
         m.clock[1] = t1;
         let t2 = h.read(&mut m, 1, 8, 8);
         assert_eq!(m.counters()[1].fetches, 1);
-        assert!(t2 - t1 < 200, "warm read should be near-free, got {}", t2 - t1);
+        assert!(
+            t2 - t1 < 200,
+            "warm read should be near-free, got {}",
+            t2 - t1
+        );
     }
 
     #[test]

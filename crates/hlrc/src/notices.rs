@@ -118,7 +118,7 @@ mod tests {
         let (pages, raw) = b.collect(1, &target);
         assert_eq!(pages, vec![1, 2, 3]); // deduplicated
         assert_eq!(raw, 4); // but the raw notice count is 4
-        // A second collect delivers nothing new.
+                            // A second collect delivers nothing new.
         let (pages, raw) = b.collect(1, &target);
         assert!(pages.is_empty());
         assert_eq!(raw, 0);

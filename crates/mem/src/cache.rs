@@ -21,7 +21,10 @@ impl CacheConfig {
     /// multiple of `line * assoc`, or non-power-of-two line size).
     pub fn sets(&self) -> usize {
         assert!(self.size > 0 && self.line > 0 && self.assoc > 0);
-        assert!(self.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = self.size / self.line;
         assert!(
             lines.is_multiple_of(self.assoc) && lines > 0,
@@ -73,7 +76,10 @@ impl Cache {
 
     fn locate(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.sets.len().trailing_zeros())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.sets.len().trailing_zeros(),
+        )
     }
 
     /// Looks up `addr`; on a hit, refreshes LRU order and (for writes) sets

@@ -369,7 +369,7 @@ mod tests {
     #[test]
     fn write_buffer_full_stalls() {
         let mut h = Hierarchy::new(MemConfig::tiny()); // depth 2
-        // Issue 3 cold writes at the same instant: the third must stall.
+                                                       // Issue 3 cold writes at the same instant: the third must stall.
         h.write(0, 0);
         h.write(0, 64);
         let stall = h.write(0, 128);
@@ -410,7 +410,10 @@ mod tests {
         let per_line = a.touch_range(0, 0, 4096, false);
         let mut b = Hierarchy::new(MemConfig::pentium_pro_like());
         let streamed = b.stream_range(0, 0, 4096, false);
-        assert!(streamed * 3 < per_line, "stream {streamed} vs touch {per_line}");
+        assert!(
+            streamed * 3 < per_line,
+            "stream {streamed} vs touch {per_line}"
+        );
         // Both pollute identically: a second streamed pass hits.
         let warm = b.stream_range(10_000, 0, 4096, false);
         assert_eq!(warm, 2 * (4096 / 32));
@@ -420,7 +423,7 @@ mod tests {
     #[test]
     fn dirty_eviction_writes_back() {
         let mut h = Hierarchy::new(MemConfig::tiny()); // L2: 1 KB, 2-way, 32 B
-        // Dirty many distinct lines so L2 must evict dirty victims.
+                                                       // Dirty many distinct lines so L2 must evict dirty victims.
         for i in 0..128u64 {
             h.write(i * 1000, i * 32);
         }

@@ -215,7 +215,14 @@ impl Machine {
 
     /// Application-side memory access through `p`'s cache hierarchy;
     /// charges stall cycles to CacheStall and returns the completion time.
-    pub fn cache_access(&mut self, p: usize, at: Cycles, addr: u64, len: u64, write: bool) -> Cycles {
+    pub fn cache_access(
+        &mut self,
+        p: usize,
+        at: Cycles,
+        addr: u64,
+        len: u64,
+        write: bool,
+    ) -> Cycles {
         let stall = self.hier[p].touch_range(at, addr, len, write);
         if stall > 0 {
             self.breakdown[p].add(Bucket::CacheStall, stall);
@@ -255,7 +262,13 @@ impl Machine {
     /// operation's wait), then injects the message. Returns
     /// `(local_done, arrival)`: when the sender's CPU is free again, and
     /// when the message reaches `dst`.
-    pub fn send_from_app(&mut self, src: usize, at: Cycles, dst: usize, bytes: u64) -> (Cycles, Cycles) {
+    pub fn send_from_app(
+        &mut self,
+        src: usize,
+        at: Cycles,
+        dst: usize,
+        bytes: u64,
+    ) -> (Cycles, Cycles) {
         let (_, t) = self.cpu[src].acquire_span(at, self.comm.host_overhead);
         self.counters[src].messages += 1;
         self.counters[src].bytes += bytes;
@@ -267,7 +280,13 @@ impl Machine {
     /// replying with a page): host overhead occupies the CPU and is charged
     /// as protocol time. Returns `(local_done, arrival)`: when the sender's
     /// CPU is free again, and when the message reaches `dst`.
-    pub fn send_from_handler(&mut self, src: usize, at: Cycles, dst: usize, bytes: u64) -> (Cycles, Cycles) {
+    pub fn send_from_handler(
+        &mut self,
+        src: usize,
+        at: Cycles,
+        dst: usize,
+        bytes: u64,
+    ) -> (Cycles, Cycles) {
         let t = self.proto_work(src, at, self.comm.host_overhead, Activity::Handler);
         self.counters[src].messages += 1;
         self.counters[src].bytes += bytes;
@@ -282,7 +301,9 @@ impl Machine {
     pub fn send_hardware(&mut self, src: usize, at: Cycles, dst: usize, bytes: u64) -> Cycles {
         self.counters[src].messages += 1;
         self.counters[src].bytes += bytes;
-        self.trace_event(at, src, "send", || format!("hw-update -> N{dst}, {bytes} B"));
+        self.trace_event(at, src, "send", || {
+            format!("hw-update -> N{dst}, {bytes} B")
+        });
         self.net.deliver(at, src, dst, bytes)
     }
 
@@ -290,12 +311,7 @@ impl Machine {
     /// `arrival`: charges the message-handling cost plus
     /// `handler_base + per_list_element * list_elements`, all as protocol
     /// time on `node`'s CPU. Returns the handler completion time.
-    pub fn handle_request(
-        &mut self,
-        node: usize,
-        arrival: Cycles,
-        list_elements: u64,
-    ) -> Cycles {
+    pub fn handle_request(&mut self, node: usize, arrival: Cycles, list_elements: u64) -> Cycles {
         let cost = self.comm.msg_handling + self.costs.handler(list_elements);
         self.trace_event(arrival, node, "handle", || {
             format!("request handler, {list_elements} list elements")

@@ -119,7 +119,9 @@ impl SharedMem {
 
 impl std::fmt::Debug for SharedMem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedMem").field("len", &self.len()).finish()
+        f.debug_struct("SharedMem")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -39,8 +39,8 @@
 use ssm_engine::Cycles;
 use ssm_proto::machine::Activity;
 use ssm_proto::{
-    BarrierId, BarrierTable, HomeMap, HomePolicy, LockId, LockTable, Machine, Protocol,
-    WorldShape, PAGE_SIZE,
+    BarrierId, BarrierTable, HomeMap, HomePolicy, LockId, LockTable, Machine, Protocol, WorldShape,
+    PAGE_SIZE,
 };
 
 /// Bytes of a small control message (requests, grants, invalidations, acks).
@@ -636,7 +636,7 @@ mod tests {
     fn write_invalidates_sharers() {
         let (mut m, mut sc) = setup(3, 64);
         let b = PAGE_SIZE / 64; // first block of page 1, home = node 1
-        // Nodes 0 and 2 read it.
+                                // Nodes 0 and 2 read it.
         let t0 = sc.read(&mut m, 0, PAGE_SIZE, 8);
         m.clock[0] = t0;
         let t2 = sc.read(&mut m, 2, PAGE_SIZE, 8);
@@ -744,6 +744,9 @@ mod tests {
         }
         // 8 writes; all but node 1's very first (it is the home and nobody
         // else had a copy yet) cause coherence traffic.
-        assert_eq!(m.counters()[1].remote_writes + m.counters()[2].remote_writes, 7);
+        assert_eq!(
+            m.counters()[1].remote_writes + m.counters()[2].remote_writes,
+            7
+        );
     }
 }

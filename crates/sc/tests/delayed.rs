@@ -38,7 +38,7 @@ fn mode_and_name() {
 fn writes_buffer_until_release() {
     let (mut m, mut sc) = setup(3);
     let b = PAGE_SIZE / 64; // block of page 1, home node 1
-    // P2 reads the block (shared copy).
+                            // P2 reads the block (shared copy).
     let t = sc.read(&mut m, 2, PAGE_SIZE, 8);
     m.clock[2] = t;
     // P0 writes it: under delayed RC this is local (after the fetch) and
@@ -111,7 +111,12 @@ fn suite_verifies_under_delayed_rc() {
             .procs(4)
             .sc_block(block)
             .run(w.as_ref());
-        assert!(r.verify_error.is_none(), "{}: {:?}", w.name(), r.verify_error);
+        assert!(
+            r.verify_error.is_none(),
+            "{}: {:?}",
+            w.name(),
+            r.verify_error
+        );
         assert_eq!(r.protocol, "SC-delayed");
     }
 }

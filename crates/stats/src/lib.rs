@@ -465,8 +465,7 @@ mod tests {
 
     #[test]
     fn bucket_labels_unique() {
-        let labels: std::collections::HashSet<_> =
-            Bucket::ALL.iter().map(|b| b.label()).collect();
+        let labels: std::collections::HashSet<_> = Bucket::ALL.iter().map(|b| b.label()).collect();
         assert_eq!(labels.len(), 6);
     }
 }

@@ -1,0 +1,603 @@
+//! The parallel sweep executor.
+//!
+//! Cells are embarrassingly parallel: each simulation is single-threaded
+//! under the engine's baton, shares no mutable state with its neighbours,
+//! and is deterministic. The executor therefore fans unique, uncached
+//! cells out over a work-stealing pool of OS threads (std only), with:
+//!
+//! * **panic capture** — a diverging application/configuration reports as
+//!   a failed cell instead of killing the sweep (the global panic hook is
+//!   taught to stay quiet for sweep-owned threads);
+//! * **wall-time limits** — a cell that exceeds `--timeout` is abandoned
+//!   (its detached simulation thread's eventual result is discarded) and
+//!   reported as timed out;
+//! * **deterministic ordering** — results come back in cell-enumeration
+//!   order regardless of completion order;
+//! * **caching** — completed cells append to the [`ResultStore`] as they
+//!   finish, so an interrupted sweep resumes where it stopped;
+//! * **progress** — a live stderr line (done/total, cache hits, failures,
+//!   ETA).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Mutex, Once};
+use std::time::{Duration, Instant};
+
+use ssm_apps::catalog;
+use ssm_core::{Protocol, SimBuilder};
+
+use crate::cell::Cell;
+use crate::json::Json;
+use crate::record::CellRecord;
+use crate::store::{ResultStore, SUMMARY_FILE};
+
+/// How a cell ended.
+// `Done` dwarfs the other variants, but it is also the overwhelmingly
+// common case; boxing it would cost an allocation per cell for nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellStatus {
+    /// Completed (possibly with a verification failure — see
+    /// [`CellRecord::verified`]).
+    Done(CellRecord),
+    /// The simulation panicked (deadlock, bad configuration, app bug).
+    Failed(String),
+    /// The per-cell wall-time limit expired.
+    TimedOut(Duration),
+}
+
+/// One cell's outcome within a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The cell.
+    pub cell: Cell,
+    /// The cell's cache hash.
+    pub hash: String,
+    /// Whether the result came from the on-disk cache.
+    pub cached: bool,
+    /// The outcome.
+    pub status: CellStatus,
+}
+
+/// Options controlling one sweep execution.
+#[derive(Debug, Clone)]
+pub struct SweepOpts {
+    /// Worker threads (cells in flight at once).
+    pub jobs: usize,
+    /// Read/write the on-disk cache (`false` = always execute, never
+    /// persist).
+    pub cache: bool,
+    /// Results directory (cache + summary).
+    pub results_dir: PathBuf,
+    /// Per-cell wall-time limit.
+    pub timeout: Option<Duration>,
+    /// Emit live progress to stderr.
+    pub progress: bool,
+    /// Write `bench_summary.json` after the sweep.
+    pub summary: bool,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            jobs: std::thread::available_parallelism().map_or(1, usize::from),
+            cache: true,
+            results_dir: PathBuf::from("results"),
+            timeout: None,
+            progress: true,
+            summary: true,
+        }
+    }
+}
+
+/// The outcome of a sweep: per-cell results in enumeration order plus
+/// execution statistics.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// Unique cells in first-occurrence order.
+    pub outcomes: Vec<CellOutcome>,
+    index: HashMap<String, usize>,
+    /// Cells actually simulated during this run.
+    pub executed: usize,
+    /// Cells served from the cache.
+    pub cached: usize,
+    /// Cells that failed or timed out.
+    pub failed: usize,
+    /// Host wall time of the whole sweep, milliseconds.
+    pub host_ms: u64,
+}
+
+impl SweepRun {
+    /// The completed record for `cell`, if it succeeded (here or in the
+    /// cache).
+    pub fn record(&self, cell: &Cell) -> Option<&CellRecord> {
+        match &self.outcomes.get(*self.index.get(&cell.hash())?)?.status {
+            CellStatus::Done(rec) => Some(rec),
+            _ => None,
+        }
+    }
+
+    /// The outcome for `cell` (including failures), if it was in the
+    /// sweep.
+    pub fn outcome(&self, cell: &Cell) -> Option<&CellOutcome> {
+        self.outcomes.get(*self.index.get(&cell.hash())?)
+    }
+
+    /// Speedup of `cell` against its application's sequential baseline
+    /// (the one-processor ideal cell, which the sweep must also contain).
+    pub fn speedup(&self, cell: &Cell) -> Option<f64> {
+        let r = self.record(cell)?;
+        let base = self.record(&Cell::baseline(&cell.app, cell.scale))?;
+        if r.total_cycles == 0 {
+            return None;
+        }
+        Some(base.total_cycles as f64 / r.total_cycles as f64)
+    }
+
+    /// Writes `bench_summary.json` into `dir`: sweep totals plus one entry
+    /// per cell (speedup when a baseline is available, wall cycles,
+    /// verification, host time). This is the repo's machine-readable
+    /// benchmark-trajectory output.
+    pub fn write_summary(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let cells: Vec<Json> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                let mut fields = vec![
+                    ("hash".to_string(), Json::Str(o.hash.clone())),
+                    ("label".to_string(), Json::Str(o.cell.label())),
+                    ("cell".to_string(), o.cell.to_json()),
+                    ("cached".to_string(), Json::Bool(o.cached)),
+                ];
+                match &o.status {
+                    CellStatus::Done(rec) => {
+                        fields.push(("status".to_string(), Json::Str("done".to_string())));
+                        fields.push(("total_cycles".to_string(), Json::Int(rec.total_cycles)));
+                        fields.push(("verified".to_string(), Json::Bool(rec.verified)));
+                        fields.push(("host_ms".to_string(), Json::Int(rec.host_ms)));
+                        if let Some(s) = self.speedup(&o.cell) {
+                            fields.push(("speedup".to_string(), Json::Num(s)));
+                        }
+                        let avg = rec.avg_breakdown();
+                        fields.push((
+                            "breakdown".to_string(),
+                            Json::Obj(
+                                ssm_stats::Bucket::ALL
+                                    .iter()
+                                    .map(|b| (b.label().to_string(), Json::Int(avg.get(*b))))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    CellStatus::Failed(e) => {
+                        fields.push(("status".to_string(), Json::Str("failed".to_string())));
+                        fields.push(("error".to_string(), Json::Str(e.clone())));
+                    }
+                    CellStatus::TimedOut(d) => {
+                        fields.push(("status".to_string(), Json::Str("timeout".to_string())));
+                        fields.push(("timeout_ms".to_string(), Json::Int(d.as_millis() as u64)));
+                    }
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        let summary = Json::Obj(vec![
+            (
+                "schema".to_string(),
+                Json::Str("ssm-sweep-summary/1".to_string()),
+            ),
+            (
+                "cells_total".to_string(),
+                Json::Int(self.outcomes.len() as u64),
+            ),
+            (
+                "cells_executed".to_string(),
+                Json::Int(self.executed as u64),
+            ),
+            ("cells_cached".to_string(), Json::Int(self.cached as u64)),
+            ("cells_failed".to_string(), Json::Int(self.failed as u64)),
+            ("host_ms".to_string(), Json::Int(self.host_ms)),
+            ("cells".to_string(), Json::Arr(cells)),
+        ]);
+        std::fs::write(dir.join(SUMMARY_FILE), summary.render() + "\n")
+    }
+}
+
+/// Builds and runs the simulation for one cell. Panics propagate to the
+/// caller (the executor turns them into failed cells).
+pub fn execute(cell: &Cell) -> Result<CellRecord, String> {
+    let spec =
+        catalog::by_name(&cell.app).ok_or_else(|| format!("unknown application {:?}", cell.app))?;
+    let started = Instant::now();
+    let workload = spec.build(cell.scale);
+    let mut builder = SimBuilder::new(cell.protocol)
+        .procs(cell.procs)
+        .sc_block(cell.sc_block.unwrap_or(spec.sc_block))
+        .home_policy(cell.homes);
+    if cell.protocol != Protocol::Ideal {
+        builder = builder.comm(cell.comm.params()).proto(cell.proto.costs());
+    }
+    let result = builder.run(workload.as_ref());
+    Ok(CellRecord::from_run(
+        cell.clone(),
+        &result,
+        started.elapsed().as_millis() as u64,
+    ))
+}
+
+/// Number of sweep cells currently in flight (used by the panic filter).
+static ACTIVE_CELLS: AtomicUsize = AtomicUsize::new(0);
+
+/// Thread-name prefix for the per-cell simulation threads.
+const CELL_THREAD_PREFIX: &str = "ssm-sweep-cell";
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// backtrace spew for panics on sweep-owned threads: the per-cell thread
+/// itself and the engine's `sim-N` application threads while cells are in
+/// flight. The panic still unwinds and is reported as a failed cell; every
+/// other thread keeps the previous hook's behavior.
+fn install_panic_filter() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let name = std::thread::current().name().unwrap_or("").to_string();
+            let owned = name.starts_with(CELL_THREAD_PREFIX)
+                || (name.starts_with("sim-") && ACTIVE_CELLS.load(Ordering::SeqCst) > 0);
+            if !owned {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs one cell on a dedicated, named thread, enforcing the wall-time
+/// limit. Returns the status (never panics).
+fn execute_with_limits(cell: &Cell, idx: usize, timeout: Option<Duration>) -> CellStatus {
+    let c = cell.clone();
+    run_guarded(idx, timeout, move || execute(&c))
+}
+
+/// The guard around one cell execution: a fresh named thread, panic
+/// capture, and the wall-time limit. Split from [`execute_with_limits`] so
+/// the guard itself is testable with arbitrary workloads.
+fn run_guarded(
+    idx: usize,
+    timeout: Option<Duration>,
+    work: impl FnOnce() -> Result<CellRecord, String> + Send + 'static,
+) -> CellStatus {
+    let (tx, rx) = channel();
+    ACTIVE_CELLS.fetch_add(1, Ordering::SeqCst);
+    let spawned = std::thread::Builder::new()
+        .name(format!("{CELL_THREAD_PREFIX}-{idx}"))
+        .spawn(move || {
+            let out = catch_unwind(AssertUnwindSafe(work));
+            let _ = tx.send(out);
+        });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => {
+            ACTIVE_CELLS.fetch_sub(1, Ordering::SeqCst);
+            return CellStatus::Failed(format!("spawn failed: {e}"));
+        }
+    };
+    let received = match timeout {
+        Some(t) => rx.recv_timeout(t),
+        None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+    };
+    let status = match received {
+        Ok(Ok(Ok(rec))) => CellStatus::Done(rec),
+        Ok(Ok(Err(e))) => CellStatus::Failed(e),
+        Ok(Err(payload)) => CellStatus::Failed(panic_message(payload)),
+        Err(RecvTimeoutError::Timeout) => {
+            // Abandon the simulation thread; its send lands on a dropped
+            // receiver. ACTIVE_CELLS stays decremented here because the
+            // worker moves on — a late panic on the zombie's sim-threads
+            // may print, which is acceptable for an already-reported cell.
+            drop(rx);
+            return {
+                ACTIVE_CELLS.fetch_sub(1, Ordering::SeqCst);
+                CellStatus::TimedOut(timeout.expect("timeout fired"))
+            };
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            CellStatus::Failed("cell thread vanished without a result".to_string())
+        }
+    };
+    let _ = handle.join();
+    ACTIVE_CELLS.fetch_sub(1, Ordering::SeqCst);
+    status
+}
+
+struct Progress {
+    total: usize,
+    done: usize,
+    executed: usize,
+    failed: usize,
+    started: Instant,
+}
+
+impl Progress {
+    fn report(&self, enabled: bool) {
+        if !enabled {
+            return;
+        }
+        let eta = if self.executed > 0 && self.done < self.total {
+            let per_cell = self.started.elapsed().as_secs_f64() / self.executed as f64;
+            let remaining = (self.total - self.done) as f64;
+            format!(", ETA {:.0}s", per_cell * remaining)
+        } else {
+            String::new()
+        };
+        let failures = if self.failed > 0 {
+            format!(", {} failed", self.failed)
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "[ssm-sweep] {}/{} cells{failures}{eta}",
+            self.done, self.total
+        );
+    }
+}
+
+/// Executes `cells` (deduplicated by hash, first occurrence wins) and
+/// returns the outcomes in enumeration order.
+///
+/// Cached cells are served from the [`ResultStore`] without executing;
+/// fresh results are appended to it as they complete. With
+/// `opts.summary`, the sweep's `bench_summary.json` is (re)written at the
+/// end.
+pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
+    install_panic_filter();
+    let sweep_started = Instant::now();
+
+    // Deduplicate, preserving enumeration order.
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut unique: Vec<(Cell, String)> = Vec::new();
+    for cell in cells {
+        let hash = cell.hash();
+        index.entry(hash.clone()).or_insert_with(|| {
+            unique.push((cell.clone(), hash));
+            unique.len() - 1
+        });
+    }
+
+    let store = if opts.cache {
+        match ResultStore::open(&opts.results_dir) {
+            Ok(s) => {
+                if s.skipped() > 0 {
+                    eprintln!(
+                        "[ssm-sweep] warning: skipped {} unreadable cache line(s)",
+                        s.skipped()
+                    );
+                }
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!(
+                    "[ssm-sweep] warning: cache disabled ({} unopenable: {e})",
+                    opts.results_dir.display()
+                );
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut statuses: Vec<Option<CellStatus>> = vec![None; unique.len()];
+    let mut cached_flags: Vec<bool> = vec![false; unique.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    let mut cached = 0usize;
+    for (i, (_, hash)) in unique.iter().enumerate() {
+        if let Some(rec) = store.as_ref().and_then(|s| s.get(hash)) {
+            statuses[i] = Some(CellStatus::Done(rec.clone()));
+            cached_flags[i] = true;
+            cached += 1;
+        } else {
+            misses.push(i);
+        }
+    }
+
+    let jobs = opts.jobs.max(1).min(misses.len().max(1));
+    if opts.progress {
+        eprintln!(
+            "[ssm-sweep] {} cells ({} unique): {} cached, {} to run on {} worker(s)",
+            cells.len(),
+            unique.len(),
+            cached,
+            misses.len(),
+            jobs
+        );
+    }
+
+    // Work-stealing deques: cells are dealt round-robin; a worker pops its
+    // own deque from the front and steals from the back of others'.
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (k, &i) in misses.iter().enumerate() {
+        deques[k % jobs].lock().expect("deque").push_back(i);
+    }
+
+    // State shared by the workers: per-cell status slots, the open cache,
+    // and progress accounting. One lock, taken once per finished cell.
+    type SharedState<'a> = (
+        &'a mut Vec<Option<CellStatus>>,
+        Option<ResultStore>,
+        Progress,
+    );
+    let shared_results: Mutex<SharedState> = Mutex::new((
+        &mut statuses,
+        store,
+        Progress {
+            total: unique.len(),
+            done: cached,
+            executed: 0,
+            failed: 0,
+            started: Instant::now(),
+        },
+    ));
+    let unique_ref = &unique;
+    let deques_ref = &deques;
+    let shared = &shared_results;
+
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            scope.spawn(move || loop {
+                let next = {
+                    let mut own = deques_ref[w].lock().expect("deque");
+                    own.pop_front()
+                };
+                let next = next.or_else(|| {
+                    (1..jobs)
+                        .find_map(|d| deques_ref[(w + d) % jobs].lock().expect("deque").pop_back())
+                });
+                let Some(i) = next else { break };
+                let (cell, _) = &unique_ref[i];
+                let status = execute_with_limits(cell, i, opts.timeout);
+                let mut guard = shared.lock().expect("results");
+                let (results, store, progress) = &mut *guard;
+                if let CellStatus::Done(rec) = &status {
+                    if let Some(s) = store.as_mut() {
+                        if let Err(e) = s.append(rec.clone()) {
+                            eprintln!("[ssm-sweep] warning: cache append failed: {e}");
+                        }
+                    }
+                } else {
+                    progress.failed += 1;
+                }
+                results[i] = Some(status);
+                progress.done += 1;
+                progress.executed += 1;
+                progress.report(opts.progress);
+            });
+        }
+    });
+
+    let (executed, failed) = {
+        let (_, _, progress) = shared_results.into_inner().expect("results");
+        (progress.executed, progress.failed)
+    };
+
+    let outcomes: Vec<CellOutcome> = unique
+        .iter()
+        .zip(statuses.iter_mut())
+        .zip(cached_flags.iter())
+        .map(|(((cell, hash), status), &was_cached)| CellOutcome {
+            cell: cell.clone(),
+            hash: hash.clone(),
+            cached: was_cached,
+            status: status.take().expect("every cell resolved"),
+        })
+        .collect();
+
+    let run = SweepRun {
+        outcomes,
+        index,
+        executed,
+        cached,
+        failed,
+        host_ms: sweep_started.elapsed().as_millis() as u64,
+    };
+    if opts.summary {
+        if let Err(e) = run.write_summary(&opts.results_dir) {
+            eprintln!("[ssm-sweep] warning: summary write failed: {e}");
+        }
+    }
+    if opts.progress {
+        eprintln!(
+            "[ssm-sweep] sweep complete: {} cells ({} executed, {} cached, {} failed) in {:.1}s",
+            run.outcomes.len(),
+            run.executed,
+            run.cached,
+            run.failed,
+            run.host_ms as f64 / 1000.0
+        );
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssm_apps::catalog::Scale;
+    use ssm_core::LayerConfig;
+    use ssm_stats::{Counters, ProtoActivity};
+
+    fn dummy_record() -> CellRecord {
+        CellRecord {
+            cell: Cell::new("FFT", Protocol::Hlrc, LayerConfig::base(), 2, Scale::Test),
+            total_cycles: 1,
+            per_proc: vec![[1, 0, 0, 0, 0, 0]; 2],
+            activity: ProtoActivity::default(),
+            counters: Counters::default(),
+            verified: true,
+            verify_error: None,
+            host_ms: 0,
+        }
+    }
+
+    #[test]
+    fn guard_passes_results_through() {
+        let rec = dummy_record();
+        let want = rec.clone();
+        match run_guarded(900, None, move || Ok(rec)) {
+            CellStatus::Done(got) => assert_eq!(got, want),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guard_captures_panics_as_failed_cells() {
+        install_panic_filter(); // keep the test log free of backtrace spew
+        match run_guarded(901, None, || panic!("cell exploded: {}", 7)) {
+            CellStatus::Failed(msg) => assert!(msg.contains("cell exploded: 7"), "{msg}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // The guard's own thread died; the caller keeps going.
+        match run_guarded(902, None, || Err("soft failure".to_string())) {
+            CellStatus::Failed(msg) => assert_eq!(msg, "soft failure"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guard_enforces_wall_time_limit() {
+        let limit = Duration::from_millis(20);
+        let status = run_guarded(903, Some(limit), move || {
+            // Far beyond the limit; the guard abandons this thread.
+            std::thread::sleep(Duration::from_secs(5));
+            Ok(dummy_record())
+        });
+        assert_eq!(status, CellStatus::TimedOut(limit));
+    }
+
+    #[test]
+    fn unknown_application_is_a_failed_cell() {
+        let cell = Cell::new(
+            "No-Such-App",
+            Protocol::Hlrc,
+            LayerConfig::base(),
+            2,
+            Scale::Test,
+        );
+        let err = execute(&cell).expect_err("unknown app");
+        assert!(err.contains("No-Such-App"), "{err}");
+    }
+}

@@ -1,0 +1,54 @@
+//! `ssm-sweep` — sweep execution for the `ssm` paper reproduction.
+//!
+//! Every figure and table in the paper is a *sweep*: a set of independent
+//! simulation **cells** `{application, protocol, layer configuration,
+//! processors, scale}`. This crate owns the whole pipeline from cell
+//! enumeration to cached results:
+//!
+//! * [`Cell`] — a content-addressed cell description with a stable hash
+//!   ([`Cell::hash`]), so identical cells are recognized across binaries
+//!   and sessions;
+//! * [`run_sweep`] — a work-stealing parallel executor (std threads only)
+//!   with per-cell panic capture, wall-time limits, live progress and
+//!   deterministic result ordering;
+//! * [`ResultStore`] — an append-only JSONL cache under `results/` keyed
+//!   by cell hash, making every sweep resumable and shareable between
+//!   binaries; plus `results/bench_summary.json`, the machine-readable
+//!   summary of the latest sweep;
+//! * [`SweepCli`] — the common `--procs/--scale/--app/--jobs/--no-cache`
+//!   command line every binary speaks.
+//!
+//! A typical binary enumerates its cells, runs one sweep, then renders its
+//! figure/table from the returned [`SweepRun`]:
+//!
+//! ```no_run
+//! use ssm_sweep::{Cell, SweepCli};
+//! use ssm_core::{LayerConfig, Protocol};
+//!
+//! let cli = SweepCli::parse();
+//! let mut cells = Vec::new();
+//! for app in cli.apps() {
+//!     cells.push(Cell::baseline(app.name, cli.scale)); // speedup denominator
+//!     cells.push(Cell::new(app.name, Protocol::Hlrc, LayerConfig::base(), cli.procs, cli.scale));
+//! }
+//! let run = ssm_sweep::run_sweep(&cells, &cli.opts());
+//! for cell in &cells {
+//!     if let Some(s) = run.speedup(cell) {
+//!         println!("{}: {s:.2}", cell.label());
+//!     }
+//! }
+//! ```
+
+pub mod cell;
+pub mod cli;
+pub mod exec;
+pub mod json;
+pub mod record;
+pub mod store;
+
+pub use cell::{scale_from_label, scale_label, Cell, CommSpec};
+pub use cli::SweepCli;
+pub use exec::{execute, run_sweep, CellOutcome, CellStatus, SweepOpts, SweepRun};
+pub use json::Json;
+pub use record::{CellRecord, SCHEMA_VERSION};
+pub use store::{ResultStore, CACHE_FILE, SUMMARY_FILE};

@@ -1,0 +1,162 @@
+//! The on-disk result store: a JSON-lines cache keyed by cell hash.
+//!
+//! Layout under the results directory (default `results/`):
+//!
+//! * `sweep_cache.jsonl` — one [`CellRecord`] per line, appended as cells
+//!   complete. Re-running an interrupted sweep only executes the missing
+//!   cells; every binary shares the one cache, so `figure4` reuses cells
+//!   `figure3` already ran.
+//! * `bench_summary.json` — the latest sweep's machine-readable summary
+//!   (written by the executor), doubling as the repo's benchmark
+//!   trajectory.
+//!
+//! Corrupt or stale-schema lines are counted and skipped, never trusted.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::record::CellRecord;
+
+/// File name of the JSONL cell cache inside the results directory.
+pub const CACHE_FILE: &str = "sweep_cache.jsonl";
+
+/// File name of the sweep summary inside the results directory.
+pub const SUMMARY_FILE: &str = "bench_summary.json";
+
+/// An append-only JSONL store of completed cells, indexed by cell hash.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+    map: HashMap<String, CellRecord>,
+    skipped: usize,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store under `results_dir`, loading
+    /// every valid cached record.
+    pub fn open(results_dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(results_dir)?;
+        let path = results_dir.join(CACHE_FILE);
+        let mut map = HashMap::new();
+        let mut skipped = 0usize;
+        if path.exists() {
+            let reader = BufReader::new(File::open(&path)?);
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match Json::parse(&line).and_then(|j| CellRecord::from_json(&j)) {
+                    Ok(rec) => {
+                        map.insert(rec.cell.hash(), rec);
+                    }
+                    Err(_) => skipped += 1,
+                }
+            }
+        }
+        Ok(ResultStore { path, map, skipped })
+    }
+
+    /// The cached record for `hash`, if present.
+    pub fn get(&self, hash: &str) -> Option<&CellRecord> {
+        self.map.get(hash)
+    }
+
+    /// Number of cached records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of unreadable lines skipped while loading.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Appends `rec` to the cache file and the in-memory index.
+    pub fn append(&mut self, rec: CellRecord) -> std::io::Result<()> {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut line = rec.to_json().render();
+        line.push('\n');
+        f.write_all(line.as_bytes())?;
+        self.map.insert(rec.cell.hash(), rec);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+    use ssm_apps::catalog::Scale;
+    use ssm_core::{LayerConfig, Protocol};
+    use ssm_stats::{Counters, ProtoActivity};
+
+    fn record(app: &str, cycles: u64) -> CellRecord {
+        CellRecord {
+            cell: Cell::new(app, Protocol::Hlrc, LayerConfig::base(), 2, Scale::Test),
+            total_cycles: cycles,
+            per_proc: vec![[1, 0, 0, 0, 0, 0]; 2],
+            activity: ProtoActivity::default(),
+            counters: Counters::default(),
+            verified: true,
+            verify_error: None,
+            host_ms: 1,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ssm-sweep-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn append_then_reopen_hits() {
+        let dir = tmpdir("reopen");
+        {
+            let mut s = ResultStore::open(&dir).expect("open");
+            assert!(s.is_empty());
+            s.append(record("FFT", 100)).expect("append");
+            s.append(record("Radix", 200)).expect("append");
+            assert_eq!(s.len(), 2);
+        }
+        let s = ResultStore::open(&dir).expect("reopen");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.skipped(), 0);
+        let hash = record("FFT", 0).cell.hash();
+        assert_eq!(s.get(&hash).expect("hit").total_cycles, 100);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn later_lines_win_and_corrupt_lines_skip() {
+        let dir = tmpdir("corrupt");
+        {
+            let mut s = ResultStore::open(&dir).expect("open");
+            s.append(record("FFT", 100)).expect("append");
+            s.append(record("FFT", 300)).expect("append"); // resumed rerun
+        }
+        // Inject garbage between valid lines.
+        let path = dir.join(CACHE_FILE);
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.insert_str(0, "{not json\n\n");
+        std::fs::write(&path, text).expect("write");
+        let s = ResultStore::open(&dir).expect("reopen");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.skipped(), 1);
+        let hash = record("FFT", 0).cell.hash();
+        assert_eq!(s.get(&hash).expect("hit").total_cycles, 300);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

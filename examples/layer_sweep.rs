@@ -8,7 +8,7 @@
 //! ```
 
 use ssm::apps::water_nsq::WaterNsq;
-use ssm::core::{sequential_baseline, CommPreset, Protocol, ProtoPreset, SimBuilder};
+use ssm::core::{sequential_baseline, CommPreset, ProtoPreset, Protocol, SimBuilder};
 use ssm::stats::Table;
 
 fn main() {
@@ -29,7 +29,11 @@ fn main() {
         CommPreset::BetterThanBest,
     ] {
         let mut cells = vec![comm.label().to_string()];
-        for proto in [ProtoPreset::Original, ProtoPreset::Halfway, ProtoPreset::Best] {
+        for proto in [
+            ProtoPreset::Original,
+            ProtoPreset::Halfway,
+            ProtoPreset::Best,
+        ] {
             let r = SimBuilder::new(Protocol::Hlrc)
                 .procs(nprocs)
                 .comm(comm.params())

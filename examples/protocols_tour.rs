@@ -28,7 +28,10 @@ fn main() {
         Protocol::ScDelayed,
     ] {
         let w = WaterNsq::new(64, 2);
-        let r = SimBuilder::new(proto).procs(nprocs).run(&w).expect_verified();
+        let r = SimBuilder::new(proto)
+            .procs(nprocs)
+            .run(&w)
+            .expect_verified();
         t.row(vec![
             r.protocol.clone(),
             format!("{:.2}", r.speedup(seq)),

@@ -18,8 +18,14 @@ fn main() {
     let seq = sequential_baseline(&Fft::new(4096)).total_cycles;
     println!("sequential time: {seq} cycles");
 
-    let mut table = Table::new(vec!["protocol", "cycles", "speedup", "busy%", "data%", "proto%"]);
-    for (proto, block) in [(Protocol::Hlrc, 64), (Protocol::Sc, 4096), (Protocol::Ideal, 64)] {
+    let mut table = Table::new(vec![
+        "protocol", "cycles", "speedup", "busy%", "data%", "proto%",
+    ]);
+    for (proto, block) in [
+        (Protocol::Hlrc, 64),
+        (Protocol::Sc, 4096),
+        (Protocol::Ideal, 64),
+    ] {
         let app = Fft::new(4096);
         let r = SimBuilder::new(proto)
             .procs(nprocs)

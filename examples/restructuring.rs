@@ -35,7 +35,11 @@ fn main() {
                 .procs(nprocs)
                 .run(w.as_ref())
                 .expect_verified();
-            (r.speedup(seq), r.counters.lock_acquires, r.counters.messages)
+            (
+                r.speedup(seq),
+                r.counters.lock_acquires,
+                r.counters.messages,
+            )
         };
         let (so, lo, mo) = run(orig);
         let (sr, lr, mr) = run(rest);

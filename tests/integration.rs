@@ -3,7 +3,7 @@
 //! public `ssm` API.
 
 use ssm::apps::catalog::{suite, Scale};
-use ssm::core::{sequential_baseline, CommPreset, LayerConfig, Protocol, ProtoPreset, SimBuilder};
+use ssm::core::{sequential_baseline, CommPreset, LayerConfig, ProtoPreset, Protocol, SimBuilder};
 use ssm::proto::HomePolicy;
 use ssm::stats::Bucket;
 
@@ -12,7 +12,12 @@ use ssm::stats::Bucket;
 #[test]
 fn whole_suite_verifies_under_all_protocols() {
     for spec in suite() {
-        for proto in [Protocol::Ideal, Protocol::Hlrc, Protocol::Aurc, Protocol::Sc] {
+        for proto in [
+            Protocol::Ideal,
+            Protocol::Hlrc,
+            Protocol::Aurc,
+            Protocol::Sc,
+        ] {
             let w = spec.build(Scale::Test);
             let r = SimBuilder::new(proto)
                 .procs(4)
@@ -44,7 +49,10 @@ fn runs_are_deterministic() {
             let w = spec.build(Scale::Test);
             SimBuilder::new(proto).procs(4).run(w.as_ref())
         };
-        assert_eq!(one.total_cycles, two.total_cycles, "{proto:?} not deterministic");
+        assert_eq!(
+            one.total_cycles, two.total_cycles,
+            "{proto:?} not deterministic"
+        );
         assert_eq!(one.counters, two.counters);
         assert_eq!(one.per_proc, two.per_proc);
     }
@@ -123,7 +131,10 @@ fn restructuring_effects_hold_end_to_end() {
     let ro = SimBuilder::new(Protocol::Hlrc).procs(4).run(wo.as_ref());
     let rr = SimBuilder::new(Protocol::Hlrc).procs(4).run(wr.as_ref());
     assert!(ro.counters.lock_acquires > 0);
-    assert_eq!(rr.counters.lock_acquires, 0, "spatial build must be lock-free");
+    assert_eq!(
+        rr.counters.lock_acquires, 0,
+        "spatial build must be lock-free"
+    );
 }
 
 /// Worse communication hurts more under SC (which pays per block) than a
@@ -166,7 +177,6 @@ fn ideal_scales_with_processors() {
     }
 }
 
-
 /// First-touch placement puts each processor's partition at its own node,
 /// eliminating most remote write traffic for block-partitioned apps.
 #[test]
@@ -204,7 +214,12 @@ fn aurc_eliminates_diffs_across_the_suite() {
     for spec in suite().into_iter().take(6) {
         let w = spec.build(Scale::Test);
         let r = SimBuilder::new(Protocol::Aurc).procs(4).run(w.as_ref());
-        assert!(r.verify_error.is_none(), "{}: {:?}", spec.name, r.verify_error);
+        assert!(
+            r.verify_error.is_none(),
+            "{}: {:?}",
+            spec.name,
+            r.verify_error
+        );
         assert_eq!(r.counters.diffs, 0, "{}: AURC must not diff", spec.name);
         assert_eq!(r.counters.twins, 0, "{}: AURC must not twin", spec.name);
     }
@@ -276,14 +291,22 @@ fn results_independent_of_processor_count() {
     for procs in [1usize, 2, 5] {
         let w = ssm::apps::ocean::Ocean::contiguous(12, 2);
         let r = SimBuilder::new(Protocol::Sc).procs(procs).run(&w);
-        assert!(r.verify_error.is_none(), "{procs} procs: {:?}", r.verify_error);
+        assert!(
+            r.verify_error.is_none(),
+            "{procs} procs: {:?}",
+            r.verify_error
+        );
     }
 
     // Radix sorts correctly at awkward processor counts (non-dividing).
     for procs in [3usize, 7] {
         let w = ssm::apps::radix::Radix::local(1000);
         let r = SimBuilder::new(Protocol::Hlrc).procs(procs).run(&w);
-        assert!(r.verify_error.is_none(), "{procs} procs: {:?}", r.verify_error);
+        assert!(
+            r.verify_error.is_none(),
+            "{procs} procs: {:?}",
+            r.verify_error
+        );
     }
 }
 

@@ -76,8 +76,18 @@ fn sc_fft_needs_coarse_granularity() {
     // At this reduced size the matrix rows are 1 KB, so 1 KB is the
     // "coarse" point (the full 4 KB claim holds at paper scale; see the
     // `ablation` harness binary).
-    let coarse = run_sc(&ssm::apps::fft::Fft::new(4096), CommParams::achievable(), 4, 1024);
-    let fine = run_sc(&ssm::apps::fft::Fft::new(4096), CommParams::achievable(), 4, 64);
+    let coarse = run_sc(
+        &ssm::apps::fft::Fft::new(4096),
+        CommParams::achievable(),
+        4,
+        1024,
+    );
+    let fine = run_sc(
+        &ssm::apps::fft::Fft::new(4096),
+        CommParams::achievable(),
+        4,
+        64,
+    );
     assert!(
         fine > coarse * 2,
         "fine-grain FFT (t={fine}) should be at least 2x slower than coarse (t={coarse})"
@@ -134,8 +144,14 @@ fn barnes_restructuring_wins_under_hlrc() {
     let rest = by_name("Barnes-Spatial").expect("app");
     let wo = orig.build(ssm::apps::catalog::Scale::Test);
     let wr = rest.build(ssm::apps::catalog::Scale::Test);
-    let ro = SimBuilder::new(Protocol::Hlrc).procs(4).run(wo.as_ref()).expect_verified();
-    let rr = SimBuilder::new(Protocol::Hlrc).procs(4).run(wr.as_ref()).expect_verified();
+    let ro = SimBuilder::new(Protocol::Hlrc)
+        .procs(4)
+        .run(wo.as_ref())
+        .expect_verified();
+    let rr = SimBuilder::new(Protocol::Hlrc)
+        .procs(4)
+        .run(wr.as_ref())
+        .expect_verified();
     assert!(
         rr.total_cycles < ro.total_cycles,
         "Barnes-Spatial (t={}) should beat Barnes-original (t={}) under HLRC",

@@ -1,156 +1,200 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants of the simulator.
+//! Randomized-property tests over the core data structures and invariants
+//! of the simulator.
+//!
+//! These used to be `proptest` properties; they are now driven by the
+//! repo's own seeded [`Rng`](ssm::apps::common::Rng) so the tier-1 suite
+//! builds and runs with no registry access. Each property samples many
+//! deterministic random cases (seeded per case index), so failures
+//! reproduce exactly.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-
-use ssm::apps::common::block_range;
+use ssm::apps::common::{block_range, Rng};
 use ssm::engine::{EventQueue, Pipe, Resource};
 use ssm::hlrc::{DirtyBits, NoticeBoard};
 use ssm::mem::{Cache, CacheConfig};
 use ssm::proto::{BarrierId, BarrierTable, LockId, LockTable, PerWord};
 
-proptest! {
-    /// Events always pop in non-decreasing time order, FIFO within a time.
-    #[test]
-    fn event_queue_orders(times in vec(0u64..1000, 1..200)) {
+/// Number of random cases sampled per property.
+const CASES: u64 = 64;
+
+/// Events always pop in non-decreasing time order, FIFO within a time.
+#[test]
+fn event_queue_orders() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0E0E + case);
+        let n = 1 + rng.gen_range(199) as usize;
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(t, i);
+        for i in 0..n {
+            q.push(rng.gen_range(1000), i);
         }
         let mut prev: Option<(u64, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((pt, pi)) = prev {
-                prop_assert!(t > pt || (t == pt && i > pi),
-                    "order violated: ({pt},{pi}) then ({t},{i})");
+                assert!(
+                    t > pt || (t == pt && i > pi),
+                    "case {case}: order violated: ({pt},{pi}) then ({t},{i})"
+                );
             }
             prev = Some((t, i));
         }
     }
+}
 
-    /// A resource never serves two reservations at once and never goes
-    /// backwards.
-    #[test]
-    fn resource_reservations_disjoint(reqs in vec((0u64..10_000, 0u64..500), 1..100)) {
+/// A resource never serves two reservations at once and never goes
+/// backwards.
+#[test]
+fn resource_reservations_disjoint() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x4E50 + case);
+        let n = 1 + rng.gen_range(99);
         let mut r = Resource::new();
         let mut last_end = 0u64;
         let mut total = 0u64;
-        for (now, dur) in reqs {
+        for _ in 0..n {
+            let now = rng.gen_range(10_000);
+            let dur = rng.gen_range(500);
             let (start, end) = r.acquire_span(now, dur);
-            prop_assert!(start >= last_end);
-            prop_assert!(start >= now);
-            prop_assert_eq!(end - start, dur);
+            assert!(start >= last_end, "case {case}");
+            assert!(start >= now, "case {case}");
+            assert_eq!(end - start, dur, "case {case}");
             last_end = end;
             total += dur;
         }
-        prop_assert_eq!(r.busy_cycles(), total);
+        assert_eq!(r.busy_cycles(), total, "case {case}");
     }
+}
 
-    /// Pipe transfer times are monotone in sim order and total occupancy
-    /// equals the sum of per-transfer latencies.
-    #[test]
-    fn pipe_transfers_serialize(xs in vec((0u64..10_000, 1u64..10_000), 1..100)) {
+/// Pipe transfer times are monotone in sim order and each transfer takes
+/// at least its own latency.
+#[test]
+fn pipe_transfers_serialize() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x9199 + case);
+        let n = 1 + rng.gen_range(99);
         let mut p = Pipe::new(2, 1);
         let mut last = 0u64;
-        for (now, bytes) in xs {
+        for _ in 0..n {
+            let now = rng.gen_range(10_000);
+            let bytes = 1 + rng.gen_range(9_999);
             let done = p.transfer(now, bytes);
-            prop_assert!(done >= last);
-            prop_assert!(done >= now + p.latency_of(bytes));
+            assert!(done >= last, "case {case}");
+            assert!(done >= now + p.latency_of(bytes), "case {case}");
             last = done;
         }
     }
+}
 
-    /// block_range always partitions [0, n) exactly, in order.
-    #[test]
-    fn block_range_partitions(n in 0usize..10_000, np in 1usize..64) {
+/// block_range always partitions [0, n) exactly, in order.
+#[test]
+fn block_range_partitions() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xB10C + case);
+        let n = rng.gen_range(10_000) as usize;
+        let np = 1 + rng.gen_range(63) as usize;
         let mut next = 0usize;
         for pid in 0..np {
             let (s, e) = block_range(n, np, pid);
-            prop_assert_eq!(s, next);
-            prop_assert!(e >= s);
-            prop_assert!(e - s <= n / np + 1);
+            assert_eq!(s, next, "case {case}");
+            assert!(e >= s, "case {case}");
+            assert!(e - s <= n / np + 1, "case {case}");
             next = e;
         }
-        prop_assert_eq!(next, n);
+        assert_eq!(next, n, "case {case}");
     }
+}
 
-    /// Lock handover is FIFO and every acquirer is granted exactly once.
-    #[test]
-    fn lock_table_fifo(nprocs in 2usize..10) {
+/// Lock handover is FIFO and every acquirer is granted exactly once.
+#[test]
+fn lock_table_fifo() {
+    for nprocs in 2usize..10 {
         let mut t = LockTable::new(1);
         let l = LockId(0);
-        prop_assert!(t.acquire(l, 0));
+        assert!(t.acquire(l, 0));
         for p in 1..nprocs {
-            prop_assert!(!t.acquire(l, p));
+            assert!(!t.acquire(l, p));
         }
         // Releases hand the lock over in request order.
         for p in 0..nprocs {
             let next = t.release(l, p);
             if p + 1 < nprocs {
-                prop_assert_eq!(next, Some(p + 1));
+                assert_eq!(next, Some(p + 1));
             } else {
-                prop_assert_eq!(next, None);
+                assert_eq!(next, None);
             }
         }
     }
+}
 
-    /// A barrier completes exactly when all processors arrive, for any
-    /// arrival order, and is reusable.
-    #[test]
-    fn barrier_completes_once(perm in vec(0usize..8, 8..9), episodes in 1usize..4) {
-        // Build a permutation of 0..8 from the random vector.
+/// A barrier completes exactly when all processors arrive, for any
+/// arrival order, and is reusable.
+#[test]
+fn barrier_completes_once() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xBA44 + case);
         let mut order: Vec<usize> = (0..8).collect();
-        for (i, &x) in perm.iter().enumerate() {
-            order.swap(i, x % 8);
-        }
+        rng.shuffle(&mut order);
+        let episodes = 1 + rng.gen_range(3) as usize;
         let mut t = BarrierTable::new(1, 8);
         for _ in 0..episodes {
             for (k, &p) in order.iter().enumerate() {
                 let done = t.arrive(BarrierId(0), p);
                 if k + 1 < order.len() {
-                    prop_assert!(done.is_none());
+                    assert!(done.is_none(), "case {case}");
                 } else {
                     let arrivals = done.expect("last arrival completes");
-                    prop_assert_eq!(arrivals.len(), 8);
+                    assert_eq!(arrivals.len(), 8, "case {case}");
                 }
             }
         }
-        prop_assert_eq!(t.episodes(BarrierId(0)), episodes as u64);
+        assert_eq!(t.episodes(BarrierId(0)), episodes as u64, "case {case}");
     }
+}
 
-    /// Dirty-bit counts equal the size of the union of marked ranges.
-    #[test]
-    fn dirty_bits_count_union(ranges in vec((0u64..1024, 1u64..64), 0..20)) {
+/// Dirty-bit counts equal the size of the union of marked ranges.
+#[test]
+fn dirty_bits_count_union() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xD147 + case);
+        let nranges = rng.gen_range(20);
         let mut d = DirtyBits::new();
         let mut model = std::collections::HashSet::new();
-        for (start, len) in ranges {
-            let len = len.min(1024 - start);
-            if len == 0 { continue; }
+        for _ in 0..nranges {
+            let start = rng.gen_range(1024);
+            let len = (1 + rng.gen_range(63)).min(1024 - start);
+            if len == 0 {
+                continue;
+            }
             d.mark(start, len);
             for w in start..start + len {
                 model.insert(w);
             }
         }
-        prop_assert_eq!(d.count(), model.len() as u64);
+        assert_eq!(d.count(), model.len() as u64, "case {case}");
     }
+}
 
-    /// Write notices are delivered to a node at most once, regardless of
-    /// how collects interleave.
-    #[test]
-    fn notices_delivered_once(
-        intervals in vec((0usize..4, vec(0u64..50, 1..5)), 1..20),
-        collect_points in vec(0usize..20, 1..10),
-    ) {
+/// Write notices are delivered to a node at most once, regardless of
+/// how collects interleave.
+#[test]
+fn notices_delivered_once() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x4075 + case);
+        let nsteps = 1 + rng.gen_range(19) as usize;
+        let mut collect_points: Vec<usize> = (0..1 + rng.gen_range(9))
+            .map(|_| rng.gen_range(20) as usize)
+            .collect();
+        collect_points.sort_unstable();
         let mut b = NoticeBoard::new(5);
         let mut raw_total = 0u64;
         let mut collected_raw = 0u64;
-        let mut cp: Vec<usize> = collect_points;
-        cp.sort_unstable();
-        for (step, (node, pages)) in intervals.iter().enumerate() {
-            b.record_interval(*node, pages.clone());
+        for step in 0..nsteps {
+            let node = rng.gen_range(4) as usize;
+            let pages: Vec<u64> = (0..1 + rng.gen_range(4))
+                .map(|_| rng.gen_range(50))
+                .collect();
+            b.record_interval(node, pages.clone());
             raw_total += pages.len() as u64;
-            while cp.first() == Some(&step) {
-                cp.remove(0);
+            while collect_points.first() == Some(&step) {
+                collect_points.remove(0);
                 let target = b.global_vt();
                 let (_, raw) = b.collect(4, &target);
                 collected_raw += raw;
@@ -161,34 +205,52 @@ proptest! {
         collected_raw += raw;
         // Node 4 recorded nothing itself, so it must see each notice
         // exactly once in total.
-        prop_assert_eq!(collected_raw, raw_total);
+        assert_eq!(collected_raw, raw_total, "case {case}");
         // And nothing more on a second pass.
         let (pages, raw) = b.collect(4, &b.global_vt());
-        prop_assert!(pages.is_empty());
-        prop_assert_eq!(raw, 0);
+        assert!(pages.is_empty(), "case {case}");
+        assert_eq!(raw, 0, "case {case}");
     }
+}
 
-    /// Cache: after filling any sequence of addresses, probing the most
-    /// recently filled address always hits (it is MRU in its set).
-    #[test]
-    fn cache_mru_always_present(addrs in vec(0u64..100_000, 1..200)) {
-        let mut c = Cache::new(CacheConfig { size: 1024, line: 32, assoc: 2 });
-        for &a in &addrs {
+/// Cache: after filling any sequence of addresses, probing the most
+/// recently filled address always hits (it is MRU in its set).
+#[test]
+fn cache_mru_always_present() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xCACE + case);
+        let n = 1 + rng.gen_range(199);
+        let mut c = Cache::new(CacheConfig {
+            size: 1024,
+            line: 32,
+            assoc: 2,
+        });
+        for _ in 0..n {
+            let a = rng.gen_range(100_000);
             c.fill(a, false);
-            prop_assert!(c.probe(a, false), "just-filled {a} missing");
+            assert!(c.probe(a, false), "case {case}: just-filled {a} missing");
         }
     }
+}
 
-    /// PerWord costs are linear and halving halves (within rounding).
-    #[test]
-    fn per_word_linear(words in 0u64..100_000, num in 0u64..10, den in 1u64..10) {
+/// PerWord costs are linear and halving halves (within rounding).
+#[test]
+fn per_word_linear() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x9E42 + case);
+        let words = rng.gen_range(100_000);
+        let num = rng.gen_range(10);
+        let den = 1 + rng.gen_range(9);
         let c = PerWord::new(num, den);
         let whole = c.cost(words);
         let half = c.halved().cost(words);
-        prop_assert!(half <= whole.div_ceil(2));
-        prop_assert_eq!(c.cost(0), 0);
+        assert!(half <= whole.div_ceil(2), "case {case}");
+        assert_eq!(c.cost(0), 0, "case {case}");
         // Linearity within integer truncation.
         let double = c.cost(words * 2);
-        prop_assert!(double >= (whole * 2).saturating_sub(1) && double <= whole * 2 + 1);
+        assert!(
+            double >= (whole * 2).saturating_sub(1) && double <= whole * 2 + 1,
+            "case {case}"
+        );
     }
 }
