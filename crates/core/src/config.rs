@@ -147,6 +147,66 @@ impl LayerConfig {
     }
 }
 
+/// A deterministic fault-injection setting: the per-class rate handed to
+/// [`ssm_net::FaultPlan::uniform`] plus the schedule seed. The default
+/// (`none`) injects nothing and keeps every run on the exact fault-free
+/// code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// Per-transmission rate of *each* fault class (drop, duplicate,
+    /// delay spike, NI stall), parts per million. 0 = faults off.
+    pub rate_ppm: u32,
+    /// Seed of the injected-fault schedule.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// The ceiling on `rate_ppm` (the four classes share one draw).
+    pub const MAX_RATE_PPM: u32 = 250_000;
+
+    /// No faults (the default everywhere).
+    pub fn none() -> Self {
+        FaultSpec {
+            rate_ppm: 0,
+            seed: 0,
+        }
+    }
+
+    /// Faults at `rate_ppm` per class with the given schedule seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_ppm` exceeds [`FaultSpec::MAX_RATE_PPM`].
+    pub fn at(rate_ppm: u32, seed: u64) -> Self {
+        assert!(
+            rate_ppm <= Self::MAX_RATE_PPM,
+            "fault rate {rate_ppm} ppm exceeds the {} ppm ceiling",
+            Self::MAX_RATE_PPM
+        );
+        FaultSpec { rate_ppm, seed }
+    }
+
+    /// Whether this spec injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.rate_ppm == 0
+    }
+
+    /// Display label, e.g. `f10000/s42` (or `f0`).
+    pub fn label(&self) -> String {
+        if self.is_none() {
+            "f0".to_string()
+        } else {
+            format!("f{}/s{}", self.rate_ppm, self.seed)
+        }
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
 /// Which protocol runs the workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {

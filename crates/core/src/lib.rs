@@ -45,7 +45,7 @@ pub mod config;
 pub mod driver;
 pub mod result;
 
-pub use config::{CommPreset, LayerConfig, ProtoPreset, Protocol};
+pub use config::{CommPreset, FaultSpec, LayerConfig, ProtoPreset, Protocol};
 pub use driver::run_simulation;
 pub use result::RunResult;
 
@@ -72,6 +72,7 @@ pub struct SimBuilder {
     sc_block: u64,
     homes: HomePolicy,
     trace: bool,
+    faults: FaultSpec,
 }
 
 impl SimBuilder {
@@ -87,6 +88,7 @@ impl SimBuilder {
             sc_block: DEFAULT_SC_BLOCK,
             homes: HomePolicy::RoundRobin,
             trace: false,
+            faults: FaultSpec::none(),
         }
     }
 
@@ -134,6 +136,16 @@ impl SimBuilder {
         self
     }
 
+    /// Sets the deterministic fault-injection spec. `FaultSpec::none()`
+    /// (the default) keeps the run on the exact fault-free code path; a
+    /// nonzero rate installs a seeded [`ssm_net::FaultPlan`] plus the
+    /// reliable-delivery sublayer that recovers from it. Ignored by the
+    /// ideal machine (it never sends).
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = spec;
+        self
+    }
+
     /// Enables protocol-event tracing; the events land in
     /// [`RunResult::trace`]. Intended for debugging small runs (the trace
     /// grows with every message).
@@ -157,6 +169,12 @@ impl SimBuilder {
         );
         if self.trace {
             machine.enable_trace();
+        }
+        if !self.faults.is_none() && self.protocol != Protocol::Ideal {
+            machine.set_fault_plan(ssm_net::FaultPlan::uniform(
+                self.faults.rate_ppm,
+                self.faults.seed,
+            ));
         }
         match self.protocol {
             Protocol::Hlrc => {
@@ -267,6 +285,47 @@ mod tests {
             assert_eq!(r.nprocs, 4);
             assert!(r.total_cycles >= 1000, "{proto:?} too fast");
             assert_eq!(r.counters.barriers, 2, "{proto:?} barrier count");
+        }
+    }
+
+    #[test]
+    fn faulty_runs_verify_and_are_deterministic() {
+        for proto in [Protocol::Hlrc, Protocol::Sc] {
+            let w = SumAll::new(4);
+            let clean = SimBuilder::new(proto).procs(4).run(&w).expect_verified();
+            let spec = FaultSpec::at(200_000, 42);
+            let w = SumAll::new(4);
+            let faulty = SimBuilder::new(proto)
+                .procs(4)
+                .faults(spec)
+                .run(&w)
+                .expect_verified();
+            assert!(
+                faulty.counters.faults_injected() > 0,
+                "{proto:?}: no faults fired at 20% per class"
+            );
+            assert_eq!(
+                faulty.counters.retransmissions, faulty.counters.faults_dropped,
+                "{proto:?}: every drop is retransmitted exactly once per loss"
+            );
+            assert!(
+                faulty.total_cycles >= clean.total_cycles,
+                "{proto:?}: recovery cannot make the run faster"
+            );
+            let w = SumAll::new(4);
+            let again = SimBuilder::new(proto)
+                .procs(4)
+                .faults(spec)
+                .run(&w)
+                .expect_verified();
+            assert_eq!(
+                faulty.total_cycles, again.total_cycles,
+                "{proto:?}: same (rate, seed) must replay the same schedule"
+            );
+            assert_eq!(
+                faulty.counters, again.counters,
+                "{proto:?}: counters differ"
+            );
         }
     }
 

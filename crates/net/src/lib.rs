@@ -137,10 +137,180 @@ pub struct NiStats {
     pub packets_sent: u64,
 }
 
+/// Injected-fault counters for one node (faults are attributed to the
+/// node whose *outgoing* message they hit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Copies lost on the wire / at the receiving NI.
+    pub drops: u64,
+    /// Copies spuriously replayed by the NI.
+    pub duplicates: u64,
+    /// Copies hit by a bounded delay spike.
+    pub delays: u64,
+    /// Extra cycles added by delay spikes.
+    pub delay_cycles: u64,
+    /// Transient NI stalls suffered before a send.
+    pub ni_stalls: u64,
+    /// Cycles the NI was wedged by those stalls.
+    pub stall_cycles: u64,
+}
+
+impl FaultStats {
+    /// Total injected fault events.
+    pub fn total(&self) -> u64 {
+        self.drops + self.duplicates + self.delays + self.ni_stalls
+    }
+}
+
+/// What the fault plan did to one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Delivered untouched.
+    None,
+    /// The copy is lost after leaving the source (never reaches `dst`).
+    Drop,
+    /// The NI replays the copy: two identical copies arrive.
+    Duplicate,
+    /// Arrival is late by the given bounded number of cycles.
+    Delay(Cycles),
+    /// The source NI is wedged for the given cycles before sending.
+    NiStall(Cycles),
+}
+
+/// Per-transmission fault probabilities in parts-per-million, with the
+/// magnitude bounds for the timed fault classes.
+///
+/// Rates are integers (not floats) so fault configurations hash and
+/// compare exactly — the same discipline the sweep cell model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRates {
+    /// Drop probability per transmission, ppm.
+    pub drop_ppm: u32,
+    /// Duplicate probability per transmission, ppm.
+    pub dup_ppm: u32,
+    /// Delay-spike probability per transmission, ppm.
+    pub delay_ppm: u32,
+    /// NI-stall probability per transmission, ppm.
+    pub stall_ppm: u32,
+    /// Largest delay spike, cycles (spikes draw uniformly from
+    /// `1..=max_delay`).
+    pub max_delay: Cycles,
+    /// Largest NI stall, cycles (stalls draw uniformly from
+    /// `1..=max_stall`).
+    pub max_stall: Cycles,
+}
+
+/// Deterministic, seeded fault schedule consulted once per transmission.
+///
+/// The RNG is SplitMix64 — the same generator `ssm-apps` uses for
+/// workload initialization — so a `(seed, rates)` pair fixes the entire
+/// injected-fault schedule: every rerun of a (single-threaded,
+/// deterministic) simulation draws the identical event sequence.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rates: FaultRates,
+    state: u64,
+}
+
+impl FaultPlan {
+    /// A plan injecting each fault class (drop, duplicate, delay spike,
+    /// NI stall) at `rate_ppm` per transmission, with default magnitude
+    /// bounds (delay spikes up to 8192 cycles, NI stalls up to 4096).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_ppm > 250_000` (the four classes together must
+    /// fit in one probability draw).
+    pub fn uniform(rate_ppm: u32, seed: u64) -> Self {
+        FaultPlan::new(
+            FaultRates {
+                drop_ppm: rate_ppm,
+                dup_ppm: rate_ppm,
+                delay_ppm: rate_ppm,
+                stall_ppm: rate_ppm,
+                max_delay: 8192,
+                max_stall: 4096,
+            },
+            seed,
+        )
+    }
+
+    /// A plan with explicit per-class rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class rates sum past 1_000_000 ppm or a timed class
+    /// has a zero magnitude bound.
+    pub fn new(rates: FaultRates, seed: u64) -> Self {
+        let total = rates.drop_ppm as u64
+            + rates.dup_ppm as u64
+            + rates.delay_ppm as u64
+            + rates.stall_ppm as u64;
+        assert!(total <= 1_000_000, "fault rates sum past 100%");
+        assert!(rates.max_delay > 0 && rates.max_stall > 0, "zero bound");
+        FaultPlan { rates, state: seed }
+    }
+
+    /// The configured rates and bounds.
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// SplitMix64 (identical constants to `ssm_apps::common::Rng`).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draws the fault event for the next transmission.
+    pub fn next_event(&mut self) -> FaultEvent {
+        let r = (self.next_u64() % 1_000_000) as u32;
+        let mut edge = self.rates.drop_ppm;
+        if r < edge {
+            return FaultEvent::Drop;
+        }
+        edge += self.rates.dup_ppm;
+        if r < edge {
+            return FaultEvent::Duplicate;
+        }
+        edge += self.rates.delay_ppm;
+        if r < edge {
+            return FaultEvent::Delay(1 + self.next_u64() % self.rates.max_delay);
+        }
+        edge += self.rates.stall_ppm;
+        if r < edge {
+            return FaultEvent::NiStall(1 + self.next_u64() % self.rates.max_stall);
+        }
+        FaultEvent::None
+    }
+}
+
+/// The observable outcome of one [`Network::transmit`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transmission {
+    /// When the first surviving copy sits in `dst` host memory. For a
+    /// dropped copy this is the cycle the loss is complete at the source
+    /// (nothing arrives).
+    pub arrival: Cycles,
+    /// The copy was lost and never reaches the destination.
+    pub dropped: bool,
+    /// A second identical copy arrived (the reliability layer suppresses
+    /// it by sequence number).
+    pub duplicated: bool,
+    /// Extra delay-spike cycles added to the arrival (0 = none).
+    pub delay: Cycles,
+    /// NI-stall cycles suffered before the send (0 = none).
+    pub stall: Cycles,
+}
+
 struct Endpoint {
     ni: Resource,
     io_bus: Pipe,
     stats: NiStats,
+    faults: FaultStats,
 }
 
 /// The cluster interconnect: one NI + I/O bus per node, free links.
@@ -161,6 +331,7 @@ struct Endpoint {
 pub struct Network {
     params: CommParams,
     nodes: Vec<Endpoint>,
+    fault: Option<FaultPlan>,
 }
 
 impl Network {
@@ -179,11 +350,30 @@ impl Network {
                 None => Pipe::infinite(),
             },
             stats: NiStats::default(),
+            faults: FaultStats::default(),
         };
         Network {
             nodes: (0..nodes).map(|_| mk()).collect(),
             params,
+            fault: None,
         }
+    }
+
+    /// Installs a fault plan: from now on [`Network::transmit`] consults
+    /// it once per copy. [`Network::deliver`] stays fault-free either way
+    /// (the reliability layer decides which path a message takes).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Whether a fault plan is installed.
+    pub fn has_fault_plan(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Injected-fault statistics for `node`'s outgoing messages.
+    pub fn fault_stats(&self, node: usize) -> FaultStats {
+        self.nodes[node].faults
     }
 
     /// The configured parameters.
@@ -222,6 +412,15 @@ impl Network {
     /// Panics if `src == dst` (protocols service local operations without
     /// the network) or either index is out of range.
     pub fn deliver(&mut self, t: Cycles, src: usize, dst: usize, bytes: u64) -> Cycles {
+        self.push(t, src, dst, bytes, true)
+    }
+
+    /// The shared transmission path: with `reaches_dst` false the copy is
+    /// lost on the wire — it consumes every *source-side* resource exactly
+    /// as a delivered copy would, but never crosses the destination I/O
+    /// bus. Returns the arrival (or, for a lost copy, the cycle the last
+    /// packet left the wire).
+    fn push(&mut self, t: Cycles, src: usize, dst: usize, bytes: u64, reaches_dst: bool) -> Cycles {
         assert_ne!(src, dst, "local messages never enter the network");
         let bytes = bytes.max(1); // control messages still occupy a packet
         self.nodes[src].stats.messages_sent += 1;
@@ -242,10 +441,82 @@ impl Network {
             // Wire.
             let t3 = t2 + self.params.link_latency;
             // DMA NI -> host at the destination.
-            let t4 = self.nodes[dst].io_bus.transfer(t3, pkt);
+            let t4 = if reaches_dst {
+                self.nodes[dst].io_bus.transfer(t3, pkt)
+            } else {
+                t3
+            };
             arrival = arrival.max(t4);
         }
         arrival
+    }
+
+    /// Moves one copy of a message like [`Network::deliver`], but consults
+    /// the installed [`FaultPlan`] first (one event draw per call). With no
+    /// plan installed this is exactly `deliver` — the zero-fault path pays
+    /// nothing for the machinery.
+    pub fn transmit(&mut self, t: Cycles, src: usize, dst: usize, bytes: u64) -> Transmission {
+        let clean = Transmission {
+            arrival: 0,
+            dropped: false,
+            duplicated: false,
+            delay: 0,
+            stall: 0,
+        };
+        let Some(event) = self.fault.as_mut().map(FaultPlan::next_event) else {
+            return Transmission {
+                arrival: self.deliver(t, src, dst, bytes),
+                ..clean
+            };
+        };
+        match event {
+            FaultEvent::None => Transmission {
+                arrival: self.deliver(t, src, dst, bytes),
+                ..clean
+            },
+            FaultEvent::Drop => {
+                self.nodes[src].faults.drops += 1;
+                Transmission {
+                    arrival: self.push(t, src, dst, bytes, false),
+                    dropped: true,
+                    ..clean
+                }
+            }
+            FaultEvent::Duplicate => {
+                self.nodes[src].faults.duplicates += 1;
+                let first = self.deliver(t, src, dst, bytes);
+                // The replayed copy re-enters the source pipeline right
+                // behind the original; FIFO resources serialize it, so it
+                // arrives second and is suppressed by sequence number.
+                let _ = self.deliver(t, src, dst, bytes);
+                Transmission {
+                    arrival: first,
+                    duplicated: true,
+                    ..clean
+                }
+            }
+            FaultEvent::Delay(d) => {
+                self.nodes[src].faults.delays += 1;
+                self.nodes[src].faults.delay_cycles += d;
+                Transmission {
+                    arrival: self.deliver(t, src, dst, bytes) + d,
+                    delay: d,
+                    ..clean
+                }
+            }
+            FaultEvent::NiStall(s) => {
+                self.nodes[src].faults.ni_stalls += 1;
+                self.nodes[src].faults.stall_cycles += s;
+                // The NI is wedged: occupy it so this send (and anything
+                // queued behind it) waits the stall out.
+                let _ = self.nodes[src].ni.acquire(t, s);
+                Transmission {
+                    arrival: self.deliver(t, src, dst, bytes),
+                    stall: s,
+                    ..clean
+                }
+            }
+        }
     }
 
     /// One-way zero-load latency of a `bytes` message (no contention), for
@@ -365,5 +636,162 @@ mod tests {
     fn rejects_self_send() {
         let mut net = Network::new(2, CommParams::achievable());
         let _ = net.deliver(0, 1, 1, 4);
+    }
+
+    #[test]
+    fn ni_stats_accumulate_across_deliver_calls() {
+        let mut net = Network::new(3, CommParams::achievable());
+        let mut t = 0;
+        for dst in [1, 2, 1] {
+            t = net.deliver(t, 0, dst, 4096);
+        }
+        let _ = net.deliver(t, 1, 0, 8192);
+        let s0 = net.stats(0);
+        assert_eq!(s0.messages_sent, 3);
+        assert_eq!(s0.bytes_sent, 3 * 4096);
+        assert_eq!(s0.packets_sent, 3);
+        let s1 = net.stats(1);
+        assert_eq!(s1.messages_sent, 1);
+        assert_eq!(s1.bytes_sent, 8192);
+        assert_eq!(s1.packets_sent, 2);
+        assert_eq!(net.stats(2), NiStats::default());
+    }
+
+    #[test]
+    fn fault_plan_schedule_is_deterministic() {
+        // Same (seed, rate) -> the identical injected-fault schedule.
+        let mut a = FaultPlan::uniform(100_000, 42);
+        let mut b = FaultPlan::uniform(100_000, 42);
+        let schedule: Vec<FaultEvent> = (0..512).map(|_| a.next_event()).collect();
+        assert!(schedule.iter().any(|e| *e != FaultEvent::None));
+        for (i, want) in schedule.iter().enumerate() {
+            assert_eq!(b.next_event(), *want, "draw {i}");
+        }
+        // A different seed diverges.
+        let mut c = FaultPlan::uniform(100_000, 43);
+        let other: Vec<FaultEvent> = (0..512).map(|_| c.next_event()).collect();
+        assert_ne!(schedule, other);
+    }
+
+    #[test]
+    fn transmit_without_plan_is_exactly_deliver() {
+        let mut plain = Network::new(2, CommParams::achievable());
+        let mut wired = Network::new(2, CommParams::achievable());
+        let mut t = 0;
+        for bytes in [64, 4096, 8192] {
+            let want = plain.deliver(t, 0, 1, bytes);
+            let tx = wired.transmit(t, 0, 1, bytes);
+            assert_eq!(tx.arrival, want);
+            assert!(!tx.dropped && !tx.duplicated);
+            assert_eq!((tx.delay, tx.stall), (0, 0));
+            t = want;
+        }
+        assert_eq!(plain.stats(0), wired.stats(0));
+        assert_eq!(wired.fault_stats(0), FaultStats::default());
+    }
+
+    #[test]
+    fn fault_stats_accumulate_across_transmissions() {
+        let mut net = Network::new(2, CommParams::achievable());
+        net.set_fault_plan(FaultPlan::uniform(200_000, 7));
+        let mut t = 0;
+        let mut dropped = 0u64;
+        let mut duplicated = 0u64;
+        for _ in 0..256 {
+            let tx = net.transmit(t, 0, 1, 64);
+            dropped += tx.dropped as u64;
+            duplicated += tx.duplicated as u64;
+            t = tx.arrival.max(t) + 1;
+        }
+        let fs = net.fault_stats(0);
+        // At 20% per class over 256 draws every class fires w.h.p., and
+        // the counters must match the per-transmission observations.
+        assert_eq!(fs.drops, dropped);
+        assert_eq!(fs.duplicates, duplicated);
+        assert!(fs.drops > 0 && fs.duplicates > 0);
+        assert!(fs.delays > 0 && fs.ni_stalls > 0);
+        assert!(fs.delay_cycles >= fs.delays && fs.delay_cycles <= fs.delays * 8192);
+        assert!(fs.stall_cycles >= fs.ni_stalls && fs.stall_cycles <= fs.ni_stalls * 4096);
+        assert_eq!(
+            fs.total(),
+            fs.drops + fs.duplicates + fs.delays + fs.ni_stalls
+        );
+        assert_eq!(net.fault_stats(1), FaultStats::default());
+    }
+
+    #[test]
+    fn dropped_copy_consumes_source_but_not_destination() {
+        // A lost copy must still occupy the source bus + NI (the sender
+        // can't tell until the timeout) while leaving dst untouched.
+        let mut net = Network::new(3, CommParams::achievable());
+        net.set_fault_plan(FaultPlan::new(
+            FaultRates {
+                drop_ppm: 1_000_000,
+                dup_ppm: 0,
+                delay_ppm: 0,
+                stall_ppm: 0,
+                max_delay: 1,
+                max_stall: 1,
+            },
+            1,
+        ));
+        let tx = net.transmit(0, 0, 1, 4096);
+        assert!(tx.dropped);
+        assert_eq!(net.stats(0).packets_sent, 1);
+        // Node 1 (the drop's destination) never saw the lost copy: a clean
+        // message into it from an idle third node lands at the fresh time.
+        let mut fresh = Network::new(3, CommParams::achievable());
+        assert_eq!(net.deliver(0, 2, 1, 64), fresh.deliver(0, 2, 1, 64));
+    }
+
+    #[test]
+    fn duplicate_sends_two_copies() {
+        let mut net = Network::new(2, CommParams::achievable());
+        net.set_fault_plan(FaultPlan::new(
+            FaultRates {
+                drop_ppm: 0,
+                dup_ppm: 1_000_000,
+                delay_ppm: 0,
+                stall_ppm: 0,
+                max_delay: 1,
+                max_stall: 1,
+            },
+            1,
+        ));
+        let tx = net.transmit(0, 0, 1, 64);
+        assert!(tx.duplicated && !tx.dropped);
+        assert_eq!(net.stats(0).messages_sent, 2);
+        // The original arrives at the clean time; the replay queues behind.
+        let mut clean = Network::new(2, CommParams::achievable());
+        assert_eq!(tx.arrival, clean.deliver(0, 0, 1, 64));
+    }
+
+    #[test]
+    fn ni_stall_delays_the_send() {
+        let mut net = Network::new(2, CommParams::achievable());
+        net.set_fault_plan(FaultPlan::new(
+            FaultRates {
+                drop_ppm: 0,
+                dup_ppm: 0,
+                delay_ppm: 0,
+                stall_ppm: 1_000_000,
+                max_delay: 1,
+                max_stall: 1000,
+            },
+            1,
+        ));
+        let tx = net.transmit(0, 0, 1, 64);
+        assert!(tx.stall > 0);
+        assert_eq!(net.fault_stats(0).stall_cycles, tx.stall);
+        // The wedged NI can only push the send later, never earlier (a
+        // stall shorter than the source-bus DMA hides behind it).
+        let mut clean = Network::new(2, CommParams::achievable());
+        assert!(tx.arrival >= clean.deliver(0, 0, 1, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum past 100%")]
+    fn rejects_rates_past_unity() {
+        let _ = FaultPlan::uniform(300_000, 0);
     }
 }

@@ -17,7 +17,7 @@
 
 use ssm_engine::{Cycles, Resource};
 use ssm_mem::{Hierarchy, MemConfig};
-use ssm_net::{CommParams, Network};
+use ssm_net::{CommParams, FaultPlan, Network};
 use ssm_stats::{Breakdown, Bucket, Counters, ProtoActivity};
 
 use crate::costs::ProtoCosts;
@@ -37,6 +37,56 @@ pub enum Activity {
     /// Page-protection changes.
     Mprotect,
 }
+
+/// Which execution context initiated a send — it decides how the CPU
+/// cost of a *retransmission* is charged (the first copy's host overhead
+/// is charged by the send method itself, exactly as on the fault-free
+/// path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendCtx {
+    /// Application-initiated transaction: overhead occupies the CPU with
+    /// no bucket charge (the window rule folds it into the operation's
+    /// wait bucket).
+    App,
+    /// Handler context: overhead is protocol time.
+    Handler,
+    /// Hardware-generated (AURC auto-update): the NI retransmit timer
+    /// resends with no host CPU involvement.
+    Hardware,
+}
+
+/// Reliable-delivery sublayer state, present only while a fault plan is
+/// installed. The zero-fault path never consults it, so fault-free runs
+/// are byte-identical to a build without the sublayer.
+///
+/// The model: every logical message carries a per-channel sequence
+/// number; the NI acks each accepted copy over a reliable hardware
+/// control channel (VMMC-style, zero simulated cost — the data path
+/// already paid for the copy). A sender whose ack has not returned by
+/// the retransmission deadline resends; deadlines back off exponentially
+/// and a retry cap turns a persistently lost message into a panic (which
+/// the sweep executor reports as a failed cell). Delay spikes are
+/// bounded below the base deadline, so only genuinely dropped copies are
+/// ever retransmitted; the receiver still discards replayed copies by
+/// sequence number.
+#[derive(Debug)]
+struct Reliability {
+    /// Deadline slack beyond the message's two-way zero-load latency.
+    rto_pad: Cycles,
+    /// Retransmissions allowed per message before the run is declared
+    /// lost.
+    max_retries: u32,
+    /// Next sequence number per (src, dst) channel.
+    next_seq: Vec<u64>,
+    /// Accepted (in-order) message count per (src, dst) channel.
+    accepted: Vec<u64>,
+}
+
+/// Retransmissions allowed per message. At the sweep's fault ceiling
+/// (25% drops per copy) a message survives ten retries with probability
+/// 1 - 2.5e-7 per message; deeper loss indicates a broken configuration
+/// and should surface as a failed cell.
+const MAX_RETRIES: u32 = 10;
 
 /// One protocol-level event captured when tracing is enabled.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +117,7 @@ pub struct Machine {
     counters: Vec<Counters>,
     wakeups: Vec<(usize, Cycles)>,
     trace: Option<Vec<TraceEvent>>,
+    rel: Option<Reliability>,
 }
 
 impl Machine {
@@ -92,6 +143,119 @@ impl Machine {
             counters: vec![Counters::default(); nprocs],
             wakeups: Vec::new(),
             trace: None,
+            rel: None,
+        }
+    }
+
+    /// Installs a deterministic fault plan on the network and arms the
+    /// reliable-delivery sublayer that recovers from it. Without this
+    /// call every send takes the exact fault-free path.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        // Deadline slack: one send overhead + handler dispatch + the
+        // largest injectable delay spike, so a merely *delayed* ack never
+        // triggers a spurious retransmission.
+        let rto_pad =
+            self.comm.host_overhead + self.comm.msg_handling + plan.rates().max_delay + 256;
+        let n = self.net.len();
+        self.net.set_fault_plan(plan);
+        self.rel = Some(Reliability {
+            rto_pad,
+            max_retries: MAX_RETRIES,
+            next_seq: vec![0; n * n],
+            accepted: vec![0; n * n],
+        });
+    }
+
+    /// Whether the reliable-delivery sublayer is armed.
+    pub fn faults_enabled(&self) -> bool {
+        self.rel.is_some()
+    }
+
+    /// Injected-fault statistics for `p`'s outgoing messages.
+    pub fn fault_stats(&self, p: usize) -> ssm_net::FaultStats {
+        self.net.fault_stats(p)
+    }
+
+    /// Moves one logical message reliably: transmits copies until one is
+    /// accepted, waiting out an exponentially backed-off deadline before
+    /// each retransmission and paying the context's CPU cost for it.
+    /// Returns `(local_done, arrival)` like the plain send paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a message exceeds the retry cap — a sweep reports that
+    /// as a failed cell rather than hanging.
+    fn transmit_reliably(
+        &mut self,
+        src: usize,
+        dst: usize,
+        first_ready: Cycles,
+        bytes: u64,
+        ctx: SendCtx,
+    ) -> (Cycles, Cycles) {
+        let (rto_pad, max_retries, seq, ch) = {
+            let n = self.net.len();
+            let rel = self.rel.as_mut().expect("reliability armed");
+            let ch = src * n + dst;
+            let seq = rel.next_seq[ch];
+            rel.next_seq[ch] += 1;
+            (rel.rto_pad, rel.max_retries, seq, ch)
+        };
+        // Base deadline: a full round trip of this message plus the pad.
+        let rto = 2 * self.net.zero_load_latency(bytes) + rto_pad;
+        let mut local_done = first_ready;
+        let mut send_at = first_ready;
+        let mut attempt: u32 = 0;
+        loop {
+            let tx = self.net.transmit(send_at, src, dst, bytes);
+            if tx.stall > 0 {
+                self.counters[src].faults_stalled += 1;
+            }
+            if tx.delay > 0 {
+                self.counters[src].faults_delayed += 1;
+            }
+            if tx.duplicated {
+                self.counters[src].faults_duplicated += 1;
+            }
+            if !tx.dropped {
+                if tx.duplicated {
+                    // The replayed copy reaches dst second; its sequence
+                    // number is already accepted, so it is discarded.
+                    self.counters[dst].dup_suppressed += 1;
+                }
+                let rel = self.rel.as_mut().expect("reliability armed");
+                debug_assert_eq!(rel.accepted[ch], seq, "channel delivers in order");
+                rel.accepted[ch] = seq + 1;
+                return (local_done, tx.arrival);
+            }
+            // Lost copy: no ack by the deadline, so resend.
+            self.counters[src].faults_dropped += 1;
+            attempt += 1;
+            assert!(
+                attempt <= max_retries,
+                "reliable delivery: message N{src}->N{dst} seq {seq} lost \
+                 {attempt} times (retry cap {max_retries})"
+            );
+            self.counters[src].retransmissions += 1;
+            let deadline = send_at + (rto << (attempt - 1).min(16));
+            let resume = local_done.max(deadline);
+            self.trace_event(resume, src, "retransmit", || {
+                format!("-> N{dst}, {bytes} B, attempt {attempt}")
+            });
+            local_done = match ctx {
+                SendCtx::App => {
+                    self.cpu[src]
+                        .acquire_span(resume, self.comm.host_overhead)
+                        .1
+                }
+                SendCtx::Handler => {
+                    self.proto_work(src, resume, self.comm.host_overhead, Activity::Handler)
+                }
+                // The NI's retransmit timer replays the copy without the
+                // host; the copy itself still pays bus + NI occupancy.
+                SendCtx::Hardware => resume,
+            };
+            send_at = local_done;
         }
     }
 
@@ -273,7 +437,11 @@ impl Machine {
         self.counters[src].messages += 1;
         self.counters[src].bytes += bytes;
         self.trace_event(at, src, "send", || format!("app -> N{dst}, {bytes} B"));
-        (t, self.net.deliver(t, src, dst, bytes))
+        if self.rel.is_some() {
+            self.transmit_reliably(src, dst, t, bytes, SendCtx::App)
+        } else {
+            (t, self.net.deliver(t, src, dst, bytes))
+        }
     }
 
     /// Sends a message from *handler context* on `src` (e.g. the home
@@ -291,7 +459,11 @@ impl Machine {
         self.counters[src].messages += 1;
         self.counters[src].bytes += bytes;
         self.trace_event(at, src, "send", || format!("handler -> N{dst}, {bytes} B"));
-        (t, self.net.deliver(t, src, dst, bytes))
+        if self.rel.is_some() {
+            self.transmit_reliably(src, dst, t, bytes, SendCtx::Handler)
+        } else {
+            (t, self.net.deliver(t, src, dst, bytes))
+        }
     }
 
     /// Sends a message generated by *hardware* at `src` (e.g. AURC's
@@ -304,7 +476,12 @@ impl Machine {
         self.trace_event(at, src, "send", || {
             format!("hw-update -> N{dst}, {bytes} B")
         });
-        self.net.deliver(at, src, dst, bytes)
+        if self.rel.is_some() {
+            self.transmit_reliably(src, dst, at, bytes, SendCtx::Hardware)
+                .1
+        } else {
+            self.net.deliver(at, src, dst, bytes)
+        }
     }
 
     /// Dispatches a *request* handler on `node` for a message arriving at
@@ -416,5 +593,139 @@ mod tests {
     fn single_proc_machine_works() {
         let mach = m(1);
         assert_eq!(mach.nprocs(), 1);
+    }
+
+    #[test]
+    fn reliable_send_matches_plain_send_when_no_fault_fires() {
+        use ssm_net::{FaultPlan, FaultRates};
+        // A plan that never injects: the reliable path must produce the
+        // same (local, arrival) pair and charge the same buckets as the
+        // plain path (pay-for-what-you-inject).
+        let mut plain = m(2);
+        let mut armed = m(2);
+        armed.set_fault_plan(FaultPlan::new(
+            FaultRates {
+                drop_ppm: 0,
+                dup_ppm: 0,
+                delay_ppm: 0,
+                stall_ppm: 0,
+                max_delay: 1,
+                max_stall: 1,
+            },
+            9,
+        ));
+        assert!(armed.faults_enabled());
+        assert_eq!(
+            plain.send_from_app(0, 0, 1, 64),
+            armed.send_from_app(0, 0, 1, 64)
+        );
+        assert_eq!(
+            plain.send_from_handler(1, 50, 0, 4096),
+            armed.send_from_handler(1, 50, 0, 4096)
+        );
+        assert_eq!(
+            plain.send_hardware(0, 99_000, 1, 8),
+            armed.send_hardware(0, 99_000, 1, 8)
+        );
+        assert_eq!(plain.breakdowns(), armed.breakdowns());
+        assert_eq!(armed.counters()[0].retransmissions, 0);
+    }
+
+    #[test]
+    fn dropped_message_is_retransmitted_and_arrives() {
+        use ssm_net::{FaultPlan, FaultRates};
+        let mut mach = m(2);
+        // Half the copies drop; every logical message must still land.
+        mach.set_fault_plan(FaultPlan::new(
+            FaultRates {
+                drop_ppm: 500_000,
+                dup_ppm: 0,
+                delay_ppm: 0,
+                stall_ppm: 0,
+                max_delay: 1,
+                max_stall: 1,
+            },
+            12345,
+        ));
+        let mut t = 0;
+        for _ in 0..64 {
+            let (local, arrival) = mach.send_from_app(0, t, 1, 256);
+            assert!(arrival > local || arrival > t);
+            t = arrival;
+        }
+        let c = &mach.counters()[0];
+        assert_eq!(c.messages, 64, "logical message count is fault-free");
+        assert!(c.retransmissions > 0, "half the copies dropped");
+        assert_eq!(c.retransmissions, c.faults_dropped);
+        assert_eq!(mach.fault_stats(0).drops, c.faults_dropped);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_at_the_receiver() {
+        use ssm_net::{FaultPlan, FaultRates};
+        let mut mach = m(2);
+        mach.set_fault_plan(FaultPlan::new(
+            FaultRates {
+                drop_ppm: 0,
+                dup_ppm: 1_000_000,
+                delay_ppm: 0,
+                stall_ppm: 0,
+                max_delay: 1,
+                max_stall: 1,
+            },
+            3,
+        ));
+        let (_, a1) = mach.send_from_app(0, 0, 1, 64);
+        let (_, _) = mach.send_from_app(0, a1, 1, 64);
+        assert_eq!(mach.counters()[1].dup_suppressed, 2);
+        assert_eq!(mach.counters()[0].faults_duplicated, 2);
+        assert_eq!(mach.counters()[0].retransmissions, 0);
+    }
+
+    #[test]
+    fn handler_retransmissions_charge_protocol_time() {
+        use ssm_net::{FaultPlan, FaultRates};
+        let mut mach = m(2);
+        mach.set_fault_plan(FaultPlan::new(
+            FaultRates {
+                drop_ppm: 500_000,
+                dup_ppm: 0,
+                delay_ppm: 0,
+                stall_ppm: 0,
+                max_delay: 1,
+                max_stall: 1,
+            },
+            77,
+        ));
+        let mut t = 0;
+        for _ in 0..32 {
+            let (local, arrival) = mach.send_from_handler(0, t, 1, 512);
+            t = local.max(arrival);
+        }
+        let c = mach.counters()[0];
+        assert!(c.retransmissions > 0);
+        // First copies + every retransmission pay host overhead as
+        // protocol (handler) time.
+        let want = (32 + c.retransmissions) * mach.comm().host_overhead;
+        assert_eq!(mach.breakdowns()[0].get(Bucket::Protocol), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "retry cap")]
+    fn all_drops_hit_the_retry_cap() {
+        use ssm_net::{FaultPlan, FaultRates};
+        let mut mach = m(2);
+        mach.set_fault_plan(FaultPlan::new(
+            FaultRates {
+                drop_ppm: 1_000_000,
+                dup_ppm: 0,
+                delay_ppm: 0,
+                stall_ppm: 0,
+                max_delay: 1,
+                max_stall: 1,
+            },
+            1,
+        ));
+        let _ = mach.send_from_app(0, 0, 1, 64);
     }
 }

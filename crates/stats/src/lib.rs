@@ -236,6 +236,19 @@ pub struct Counters {
     pub local_accesses: u64,
     /// Automatic-update messages propagated (AURC only).
     pub auto_updates: u64,
+    /// Copies resent by the reliability sublayer after a loss (zero on a
+    /// fault-free network).
+    pub retransmissions: u64,
+    /// Duplicate copies discarded at the receiver by sequence number.
+    pub dup_suppressed: u64,
+    /// Injected faults observed on this node's sends: message drops.
+    pub faults_dropped: u64,
+    /// Injected faults observed on this node's sends: duplicated copies.
+    pub faults_duplicated: u64,
+    /// Injected faults observed on this node's sends: delay spikes.
+    pub faults_delayed: u64,
+    /// Injected faults observed on this node's sends: transient NI stalls.
+    pub faults_stalled: u64,
 }
 
 impl Counters {
@@ -256,7 +269,18 @@ impl Counters {
             barriers: self.barriers + o.barriers,
             local_accesses: self.local_accesses + o.local_accesses,
             auto_updates: self.auto_updates + o.auto_updates,
+            retransmissions: self.retransmissions + o.retransmissions,
+            dup_suppressed: self.dup_suppressed + o.dup_suppressed,
+            faults_dropped: self.faults_dropped + o.faults_dropped,
+            faults_duplicated: self.faults_duplicated + o.faults_duplicated,
+            faults_delayed: self.faults_delayed + o.faults_delayed,
+            faults_stalled: self.faults_stalled + o.faults_stalled,
         }
+    }
+
+    /// Total injected-fault events observed on this node's sends.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_dropped + self.faults_duplicated + self.faults_delayed + self.faults_stalled
     }
 }
 

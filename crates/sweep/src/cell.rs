@@ -131,6 +131,12 @@ pub struct Cell {
     pub sc_block: Option<u64>,
     /// Page-to-home placement policy.
     pub homes: HomePolicy,
+    /// Per-class fault-injection rate, parts per million (0 = faults off;
+    /// zero keeps the canonical form — and hence the hash — identical to
+    /// pre-fault-injection cells).
+    pub fault_rate_ppm: u32,
+    /// Seed of the injected-fault schedule (ignored when the rate is 0).
+    pub fault_seed: u64,
 }
 
 impl Cell {
@@ -151,6 +157,8 @@ impl Cell {
             scale,
             sc_block: None,
             homes: HomePolicy::RoundRobin,
+            fault_rate_ppm: 0,
+            fault_seed: 0,
         }
     }
 
@@ -184,18 +192,39 @@ impl Cell {
         self
     }
 
-    /// Display label, e.g. `FFT HLRC AO p16`.
+    /// Sets deterministic fault injection (per-class rate in ppm plus the
+    /// schedule seed). Rate 0 restores the fault-free cell identity.
+    pub fn with_faults(mut self, rate_ppm: u32, seed: u64) -> Self {
+        self.fault_rate_ppm = rate_ppm;
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Whether this cell injects faults (the ideal machine never sends, so
+    /// its cells are always fault-free).
+    pub fn has_faults(&self) -> bool {
+        self.fault_rate_ppm > 0 && self.protocol != Protocol::Ideal
+    }
+
+    /// Display label, e.g. `FFT HLRC AO p16` (faulty cells append the
+    /// injection rate: `FFT HLRC AO p16 f10000`).
     pub fn label(&self) -> String {
         match self.protocol {
             Protocol::Ideal => format!("{} IDEAL p{}", self.app, self.procs),
-            _ => format!(
-                "{} {} {}{} p{}",
-                self.app,
-                self.protocol.label(),
-                self.comm.label(),
-                self.proto.label(),
-                self.procs
-            ),
+            _ => {
+                let mut s = format!(
+                    "{} {} {}{} p{}",
+                    self.app,
+                    self.protocol.label(),
+                    self.comm.label(),
+                    self.proto.label(),
+                    self.procs
+                );
+                if self.has_faults() {
+                    s.push_str(&format!(" f{}", self.fault_rate_ppm));
+                }
+                s
+            }
         }
     }
 
@@ -216,7 +245,7 @@ impl Cell {
                     (_, Some(b)) => b.to_string(),
                     (_, None) => "app".to_string(),
                 };
-                format!(
+                let mut s = format!(
                     "v1|{}|{}|{}|{}|{}|{scale}|{block}|{}",
                     self.app,
                     self.protocol.label(),
@@ -224,7 +253,13 @@ impl Cell {
                     self.proto.label(),
                     self.procs,
                     homes_label(self.homes),
-                )
+                );
+                // Appended only when nonzero so every pre-existing cache
+                // line keeps its hash.
+                if self.has_faults() {
+                    s.push_str(&format!("|f{}:{}", self.fault_rate_ppm, self.fault_seed));
+                }
+                s
             }
         }
     }
@@ -240,9 +275,11 @@ impl Cell {
         format!("{h:016x}")
     }
 
-    /// Serializes the cell for the result record.
+    /// Serializes the cell for the result record. Fault fields are emitted
+    /// only when active, so fault-free records render byte-identically to
+    /// the pre-fault-injection schema.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("app".to_string(), Json::Str(self.app.clone())),
             (
                 "protocol".to_string(),
@@ -269,7 +306,15 @@ impl Cell {
                 "homes".to_string(),
                 Json::Str(homes_label(self.homes).to_string()),
             ),
-        ])
+        ];
+        if self.has_faults() {
+            fields.push((
+                "fault_rate_ppm".to_string(),
+                Json::Int(self.fault_rate_ppm as u64),
+            ));
+            fields.push(("fault_seed".to_string(), Json::Int(self.fault_seed)));
+        }
+        Json::Obj(fields)
     }
 
     /// Deserializes a cell from a result record.
@@ -294,6 +339,9 @@ impl Cell {
                 Some(b) => Some(b.as_u64().ok_or("bad sc_block")?),
             },
             homes: homes_from_label(str_field("homes")?)?,
+            // Absent in records written before fault injection existed.
+            fault_rate_ppm: v.get("fault_rate_ppm").and_then(Json::as_u64).unwrap_or(0) as u32,
+            fault_seed: v.get("fault_seed").and_then(Json::as_u64).unwrap_or(0),
         })
     }
 }
@@ -449,6 +497,39 @@ mod tests {
         );
         assert_eq!(a.hash(), b.hash());
         assert_eq!(Cell::baseline("FFT", Scale::Test).hash(), a.hash());
+    }
+
+    #[test]
+    fn fault_fields_extend_the_hash_only_when_active() {
+        let base = cell();
+        // Zero rate: same canonical form, same hash, same JSON — every
+        // pre-fault cache line stays valid.
+        assert_eq!(base.clone().with_faults(0, 99).hash(), base.hash());
+        assert_eq!(
+            base.clone().with_faults(0, 99).to_json().render(),
+            base.to_json().render()
+        );
+        // Nonzero rate: distinct hash, and rate/seed both matter.
+        let faulty = base.clone().with_faults(10_000, 42);
+        assert_eq!(
+            faulty.canonical(),
+            "v1|FFT|HLRC|A|O|16|bench|-|rr|f10000:42"
+        );
+        assert_ne!(faulty.hash(), base.hash());
+        assert_ne!(faulty.hash(), base.clone().with_faults(20_000, 42).hash());
+        assert_ne!(faulty.hash(), base.clone().with_faults(10_000, 43).hash());
+        // The ideal machine never sends, so its cells ignore fault specs.
+        let ideal = Cell::ideal("FFT", 1, Scale::Test);
+        assert_eq!(ideal.clone().with_faults(10_000, 42).hash(), ideal.hash());
+    }
+
+    #[test]
+    fn faulty_cell_round_trips_through_json() {
+        let faulty = cell().with_faults(10_000, 42);
+        let text = faulty.to_json().render();
+        let back = Cell::from_json(&Json::parse(&text).expect("parse")).expect("cell");
+        assert_eq!(back, faulty, "{text}");
+        assert_eq!(back.hash(), faulty.hash());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! * `--jobs N` — host worker threads (default: available parallelism);
 //! * `--no-cache` — ignore and don't write `results/sweep_cache.jsonl`;
 //! * `--timeout SECS` — per-cell wall-time limit (default: none);
+//! * `--retries N` — rerun panicked/timed-out cells up to N extra times
+//!   (default 0);
 //! * `--results DIR` — results directory (default `results/`);
 //! * `--quiet` — suppress stderr progress.
 //!
@@ -43,6 +45,8 @@ pub struct SweepCli {
     pub no_cache: bool,
     /// Per-cell wall-time limit, seconds.
     pub timeout_secs: Option<u64>,
+    /// Extra attempts for panicked/timed-out cells.
+    pub retries: u32,
     /// Results directory.
     pub results_dir: PathBuf,
     /// Suppress stderr progress.
@@ -58,6 +62,7 @@ impl Default for SweepCli {
             jobs: std::thread::available_parallelism().map_or(1, usize::from),
             no_cache: false,
             timeout_secs: None,
+            retries: 0,
             results_dir: PathBuf::from("results"),
             quiet: false,
         }
@@ -71,7 +76,7 @@ impl SweepCli {
     pub fn parse() -> Self {
         Self::parse_with(|flag, _| {
             die(&format!(
-                "unknown flag {flag}; use --procs/--scale/--app/--jobs/--no-cache/--timeout/--results/--quiet"
+                "unknown flag {flag}; use --procs/--scale/--app/--jobs/--no-cache/--timeout/--retries/--results/--quiet"
             ))
         })
     }
@@ -116,6 +121,12 @@ impl SweepCli {
                             .unwrap_or_else(|| die("--timeout needs seconds")),
                     );
                 }
+                "--retries" => {
+                    cli.retries = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--retries needs a number"));
+                }
                 "--results" => {
                     cli.results_dir =
                         PathBuf::from(args.next().unwrap_or_else(|| die("--results needs a dir")));
@@ -151,6 +162,7 @@ impl SweepCli {
             cache: !self.no_cache,
             results_dir: self.results_dir.clone(),
             timeout: self.timeout_secs.map(Duration::from_secs),
+            retries: self.retries,
             progress: !self.quiet,
             summary: true,
         }
@@ -194,11 +206,13 @@ mod tests {
         cli.jobs = 3;
         cli.no_cache = true;
         cli.timeout_secs = Some(7);
+        cli.retries = 2;
         cli.quiet = true;
         let opts = cli.opts();
         assert_eq!(opts.jobs, 3);
         assert!(!opts.cache);
         assert_eq!(opts.timeout, Some(Duration::from_secs(7)));
+        assert_eq!(opts.retries, 2);
         assert!(!opts.progress);
     }
 }

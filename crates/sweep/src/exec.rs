@@ -28,7 +28,7 @@ use std::sync::{Mutex, Once};
 use std::time::{Duration, Instant};
 
 use ssm_apps::catalog;
-use ssm_core::{Protocol, SimBuilder};
+use ssm_core::{FaultSpec, Protocol, SimBuilder};
 
 use crate::cell::Cell;
 use crate::json::Json;
@@ -59,6 +59,10 @@ pub struct CellOutcome {
     pub hash: String,
     /// Whether the result came from the on-disk cache.
     pub cached: bool,
+    /// How many execution attempts the final status took (1 unless
+    /// `--retries` re-ran the cell; cached outcomes report the attempt
+    /// count recorded when the cell was first simulated).
+    pub attempts: u64,
     /// The outcome.
     pub status: CellStatus,
 }
@@ -75,6 +79,9 @@ pub struct SweepOpts {
     pub results_dir: PathBuf,
     /// Per-cell wall-time limit.
     pub timeout: Option<Duration>,
+    /// Extra execution attempts for cells that panic or time out (0 = a
+    /// failure is final on the first try).
+    pub retries: u32,
     /// Emit live progress to stderr.
     pub progress: bool,
     /// Write `bench_summary.json` after the sweep.
@@ -88,6 +95,7 @@ impl Default for SweepOpts {
             cache: true,
             results_dir: PathBuf::from("results"),
             timeout: None,
+            retries: 0,
             progress: true,
             summary: true,
         }
@@ -107,6 +115,11 @@ pub struct SweepRun {
     pub cached: usize,
     /// Cells that failed or timed out.
     pub failed: usize,
+    /// Detached simulation threads abandoned by timed-out attempts. Each
+    /// one keeps running (and holding memory) until its simulation
+    /// finishes or the process exits — a nonzero count means the process
+    /// is carrying zombie work.
+    pub abandoned_threads: usize,
     /// Host wall time of the whole sweep, milliseconds.
     pub host_ms: u64,
 }
@@ -153,6 +166,7 @@ impl SweepRun {
                     ("label".to_string(), Json::Str(o.cell.label())),
                     ("cell".to_string(), o.cell.to_json()),
                     ("cached".to_string(), Json::Bool(o.cached)),
+                    ("attempts".to_string(), Json::Int(o.attempts)),
                 ];
                 match &o.status {
                     CellStatus::Done(rec) => {
@@ -160,6 +174,20 @@ impl SweepRun {
                         fields.push(("total_cycles".to_string(), Json::Int(rec.total_cycles)));
                         fields.push(("verified".to_string(), Json::Bool(rec.verified)));
                         fields.push(("host_ms".to_string(), Json::Int(rec.host_ms)));
+                        if o.cell.has_faults() {
+                            let c = &rec.counters;
+                            fields.push((
+                                "recovery".to_string(),
+                                Json::Obj(vec![
+                                    ("retransmissions".to_string(), Json::Int(c.retransmissions)),
+                                    ("dup_suppressed".to_string(), Json::Int(c.dup_suppressed)),
+                                    (
+                                        "faults_injected".to_string(),
+                                        Json::Int(c.faults_injected()),
+                                    ),
+                                ]),
+                            ));
+                        }
                         if let Some(s) = self.speedup(&o.cell) {
                             fields.push(("speedup".to_string(), Json::Num(s)));
                         }
@@ -201,6 +229,10 @@ impl SweepRun {
             ),
             ("cells_cached".to_string(), Json::Int(self.cached as u64)),
             ("cells_failed".to_string(), Json::Int(self.failed as u64)),
+            (
+                "abandoned_threads".to_string(),
+                Json::Int(self.abandoned_threads as u64),
+            ),
             ("host_ms".to_string(), Json::Int(self.host_ms)),
             ("cells".to_string(), Json::Arr(cells)),
         ]);
@@ -221,6 +253,9 @@ pub fn execute(cell: &Cell) -> Result<CellRecord, String> {
         .home_policy(cell.homes);
     if cell.protocol != Protocol::Ideal {
         builder = builder.comm(cell.comm.params()).proto(cell.proto.costs());
+    }
+    if cell.has_faults() {
+        builder = builder.faults(FaultSpec::at(cell.fault_rate_ppm, cell.fault_seed));
     }
     let result = builder.run(workload.as_ref());
     Ok(CellRecord::from_run(
@@ -271,6 +306,31 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 fn execute_with_limits(cell: &Cell, idx: usize, timeout: Option<Duration>) -> CellStatus {
     let c = cell.clone();
     run_guarded(idx, timeout, move || execute(&c))
+}
+
+/// Runs one cell, re-running a panicked or timed-out attempt up to
+/// `retries` extra times. Returns the final status, the number of attempts
+/// made, and how many timed-out attempts left a detached simulation thread
+/// behind (each timeout abandons its thread whether or not a retry
+/// follows).
+fn execute_with_retries(
+    cell: &Cell,
+    idx: usize,
+    timeout: Option<Duration>,
+    retries: u32,
+) -> (CellStatus, u64, usize) {
+    let mut attempts = 0u64;
+    let mut abandoned = 0usize;
+    loop {
+        attempts += 1;
+        let status = execute_with_limits(cell, idx, timeout);
+        if matches!(status, CellStatus::TimedOut(_)) {
+            abandoned += 1;
+        }
+        if matches!(status, CellStatus::Done(_)) || attempts > retries as u64 {
+            return (status, attempts, abandoned);
+        }
+    }
 }
 
 /// The guard around one cell execution: a fresh named thread, panic
@@ -329,6 +389,7 @@ struct Progress {
     done: usize,
     executed: usize,
     failed: usize,
+    abandoned: usize,
     started: Instant,
 }
 
@@ -401,13 +462,14 @@ pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
         None
     };
 
-    let mut statuses: Vec<Option<CellStatus>> = vec![None; unique.len()];
+    let mut statuses: Vec<Option<(CellStatus, u64)>> = vec![None; unique.len()];
     let mut cached_flags: Vec<bool> = vec![false; unique.len()];
     let mut misses: Vec<usize> = Vec::new();
     let mut cached = 0usize;
     for (i, (_, hash)) in unique.iter().enumerate() {
         if let Some(rec) = store.as_ref().and_then(|s| s.get(hash)) {
-            statuses[i] = Some(CellStatus::Done(rec.clone()));
+            let attempts = rec.attempts;
+            statuses[i] = Some((CellStatus::Done(rec.clone()), attempts));
             cached_flags[i] = true;
             cached += 1;
         } else {
@@ -438,7 +500,7 @@ pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
     // State shared by the workers: per-cell status slots, the open cache,
     // and progress accounting. One lock, taken once per finished cell.
     type SharedState<'a> = (
-        &'a mut Vec<Option<CellStatus>>,
+        &'a mut Vec<Option<(CellStatus, u64)>>,
         Option<ResultStore>,
         Progress,
     );
@@ -450,6 +512,7 @@ pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
             done: cached,
             executed: 0,
             failed: 0,
+            abandoned: 0,
             started: Instant::now(),
         },
     ));
@@ -470,7 +533,11 @@ pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
                 });
                 let Some(i) = next else { break };
                 let (cell, _) = &unique_ref[i];
-                let status = execute_with_limits(cell, i, opts.timeout);
+                let (mut status, attempts, abandoned) =
+                    execute_with_retries(cell, i, opts.timeout, opts.retries);
+                if let CellStatus::Done(rec) = &mut status {
+                    rec.attempts = attempts;
+                }
                 let mut guard = shared.lock().expect("results");
                 let (results, store, progress) = &mut *guard;
                 if let CellStatus::Done(rec) = &status {
@@ -482,7 +549,8 @@ pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
                 } else {
                     progress.failed += 1;
                 }
-                results[i] = Some(status);
+                progress.abandoned += abandoned;
+                results[i] = Some((status, attempts));
                 progress.done += 1;
                 progress.executed += 1;
                 progress.report(opts.progress);
@@ -490,20 +558,24 @@ pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
         }
     });
 
-    let (executed, failed) = {
+    let (executed, failed, abandoned_threads) = {
         let (_, _, progress) = shared_results.into_inner().expect("results");
-        (progress.executed, progress.failed)
+        (progress.executed, progress.failed, progress.abandoned)
     };
 
     let outcomes: Vec<CellOutcome> = unique
         .iter()
         .zip(statuses.iter_mut())
         .zip(cached_flags.iter())
-        .map(|(((cell, hash), status), &was_cached)| CellOutcome {
-            cell: cell.clone(),
-            hash: hash.clone(),
-            cached: was_cached,
-            status: status.take().expect("every cell resolved"),
+        .map(|(((cell, hash), status), &was_cached)| {
+            let (status, attempts) = status.take().expect("every cell resolved");
+            CellOutcome {
+                cell: cell.clone(),
+                hash: hash.clone(),
+                cached: was_cached,
+                attempts,
+                status,
+            }
         })
         .collect();
 
@@ -513,6 +585,7 @@ pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
         executed,
         cached,
         failed,
+        abandoned_threads,
         host_ms: sweep_started.elapsed().as_millis() as u64,
     };
     if opts.summary {
@@ -521,8 +594,16 @@ pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
         }
     }
     if opts.progress {
+        let zombies = if run.abandoned_threads > 0 {
+            format!(
+                ", {} abandoned thread(s) still running",
+                run.abandoned_threads
+            )
+        } else {
+            String::new()
+        };
         eprintln!(
-            "[ssm-sweep] sweep complete: {} cells ({} executed, {} cached, {} failed) in {:.1}s",
+            "[ssm-sweep] sweep complete: {} cells ({} executed, {} cached, {} failed{zombies}) in {:.1}s",
             run.outcomes.len(),
             run.executed,
             run.cached,
@@ -550,6 +631,7 @@ mod tests {
             verified: true,
             verify_error: None,
             host_ms: 0,
+            attempts: 1,
         }
     }
 
@@ -586,6 +668,48 @@ mod tests {
             Ok(dummy_record())
         });
         assert_eq!(status, CellStatus::TimedOut(limit));
+    }
+
+    #[test]
+    fn retries_rerun_failed_cells_and_count_attempts() {
+        install_panic_filter();
+        // An unknown app fails deterministically on every attempt: with 2
+        // retries the executor makes 3 attempts, then gives up.
+        let cell = Cell::new(
+            "No-Such-App",
+            Protocol::Hlrc,
+            LayerConfig::base(),
+            2,
+            Scale::Test,
+        );
+        let (status, attempts, abandoned) = execute_with_retries(&cell, 904, None, 2);
+        assert!(matches!(status, CellStatus::Failed(_)), "{status:?}");
+        assert_eq!(attempts, 3);
+        assert_eq!(abandoned, 0, "failures abandon no threads");
+        // A healthy cell succeeds on the first attempt regardless of the
+        // retry budget.
+        let ok = Cell::new("FFT", Protocol::Hlrc, LayerConfig::base(), 2, Scale::Test);
+        let (status, attempts, abandoned) = execute_with_retries(&ok, 905, None, 2);
+        assert!(matches!(status, CellStatus::Done(_)), "{status:?}");
+        assert_eq!((attempts, abandoned), (1, 0));
+    }
+
+    #[test]
+    fn timed_out_attempts_count_abandoned_threads() {
+        // Each timed-out attempt detaches its simulation thread; the
+        // retry loop must count every one of them.
+        let cell = Cell::new("FFT", Protocol::Hlrc, LayerConfig::base(), 2, Scale::Test);
+        let timeout = Some(Duration::from_nanos(1));
+        let (status, attempts, abandoned) = execute_with_retries(&cell, 906, timeout, 1);
+        if matches!(status, CellStatus::TimedOut(_)) {
+            assert_eq!(attempts, 2);
+            assert_eq!(abandoned, 2);
+        } else {
+            // A 1ns budget losing the race is wildly unlikely but not
+            // impossible on a loaded host; a completed run must then
+            // report a clean first attempt.
+            assert!(abandoned < 2);
+        }
     }
 
     #[test]

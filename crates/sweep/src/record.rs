@@ -36,6 +36,9 @@ pub struct CellRecord {
     pub verify_error: Option<String>,
     /// Host (real) wall time spent simulating this cell, milliseconds.
     pub host_ms: u64,
+    /// How many execution attempts this result took (1 = first try; >1
+    /// means `--retries` re-ran the cell after a panic or timeout).
+    pub attempts: u64,
 }
 
 impl CellRecord {
@@ -61,6 +64,7 @@ impl CellRecord {
             verified: r.verify_error.is_none(),
             verify_error: r.verify_error.clone(),
             host_ms,
+            attempts: 1,
         }
     }
 
@@ -126,6 +130,15 @@ impl CellRecord {
                     ("barriers".to_string(), Json::Int(c.barriers)),
                     ("local_accesses".to_string(), Json::Int(c.local_accesses)),
                     ("auto_updates".to_string(), Json::Int(c.auto_updates)),
+                    ("retransmissions".to_string(), Json::Int(c.retransmissions)),
+                    ("dup_suppressed".to_string(), Json::Int(c.dup_suppressed)),
+                    ("faults_dropped".to_string(), Json::Int(c.faults_dropped)),
+                    (
+                        "faults_duplicated".to_string(),
+                        Json::Int(c.faults_duplicated),
+                    ),
+                    ("faults_delayed".to_string(), Json::Int(c.faults_delayed)),
+                    ("faults_stalled".to_string(), Json::Int(c.faults_stalled)),
                 ]),
             ),
             ("verified".to_string(), Json::Bool(self.verified)),
@@ -137,6 +150,7 @@ impl CellRecord {
                 },
             ),
             ("host_ms".to_string(), Json::Int(self.host_ms)),
+            ("attempts".to_string(), Json::Int(self.attempts)),
         ])
     }
 
@@ -170,6 +184,7 @@ impl CellRecord {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("record missing {key}"))
         };
+        let opt = |obj: &Json, key: &str| obj.get(key).and_then(Json::as_u64).unwrap_or(0);
         let a = section("activity")?;
         let activity = ProtoActivity {
             handler: field(a, "handler")?,
@@ -194,6 +209,13 @@ impl CellRecord {
             barriers: field(c, "barriers")?,
             local_accesses: field(c, "local_accesses")?,
             auto_updates: field(c, "auto_updates")?,
+            // Absent in records written before fault injection existed.
+            retransmissions: opt(c, "retransmissions"),
+            dup_suppressed: opt(c, "dup_suppressed"),
+            faults_dropped: opt(c, "faults_dropped"),
+            faults_duplicated: opt(c, "faults_duplicated"),
+            faults_delayed: opt(c, "faults_delayed"),
+            faults_stalled: opt(c, "faults_stalled"),
         };
         Ok(CellRecord {
             cell,
@@ -213,6 +235,7 @@ impl CellRecord {
                 _ => None,
             },
             host_ms: v.get("host_ms").and_then(Json::as_u64).unwrap_or(0),
+            attempts: v.get("attempts").and_then(Json::as_u64).unwrap_or(1),
         })
     }
 }
@@ -243,6 +266,7 @@ mod tests {
             verified: false,
             verify_error: Some("sum: got 3, want \"4\"\n(line two)".to_string()),
             host_ms: 42,
+            attempts: 1,
         }
     }
 
@@ -261,6 +285,28 @@ mod tests {
         assert_eq!(r.breakdown(0).total(), 21);
         assert_eq!(r.breakdown(1).get(Bucket::Busy), 60);
         assert_eq!(r.avg_breakdown().get(Bucket::Protocol), 8);
+    }
+
+    #[test]
+    fn pre_fault_records_parse_with_defaults() {
+        // A cache line written before the fault/retry fields existed must
+        // still load: counters default to 0, attempts to 1.
+        let mut j = record().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| k != "attempts");
+            for (k, v) in fields.iter_mut() {
+                if k == "counters" {
+                    if let Json::Obj(cs) = v {
+                        cs.retain(|(ck, _)| !ck.starts_with("faults_") && ck != "retransmissions");
+                        cs.retain(|(ck, _)| ck != "dup_suppressed");
+                    }
+                }
+            }
+        }
+        let back = CellRecord::from_json(&j).expect("old record");
+        assert_eq!(back.attempts, 1);
+        assert_eq!(back.counters.retransmissions, 0);
+        assert_eq!(back.counters.faults_injected(), 0);
     }
 
     #[test]

@@ -112,6 +112,7 @@ mod tests {
             verified: true,
             verify_error: None,
             host_ms: 1,
+            attempts: 1,
         }
     }
 

@@ -71,6 +71,67 @@ fn ordering_is_deterministic_across_worker_counts() {
 }
 
 #[test]
+fn fault_injection_is_deterministic_across_runs_and_workers() {
+    // Same (seed, rate) must produce the same injected-fault schedule —
+    // and hence bit-identical records — on every rerun and under any
+    // worker count (each cell's simulation is single-threaded).
+    let cells: Vec<Cell> = ["FFT", "Radix"]
+        .iter()
+        .flat_map(|app| {
+            [Protocol::Hlrc, Protocol::Sc].map(|proto| {
+                Cell::new(app, proto, LayerConfig::base(), 2, Scale::Test).with_faults(50_000, 7)
+            })
+        })
+        .collect();
+    let serial = run_sweep(
+        &cells,
+        &SweepOpts {
+            jobs: 1,
+            ..quiet_opts()
+        },
+    );
+    let parallel = run_sweep(
+        &cells,
+        &SweepOpts {
+            jobs: 4,
+            ..quiet_opts()
+        },
+    );
+    for (a, b) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        match (&a.status, &b.status) {
+            (CellStatus::Done(x), CellStatus::Done(y)) => {
+                assert!(
+                    x.verified,
+                    "{}: wrong result under faults: {:?}",
+                    a.cell.label(),
+                    x.verify_error
+                );
+                assert!(
+                    x.counters.faults_injected() > 0,
+                    "{}: no faults fired at 5% per class",
+                    a.cell.label()
+                );
+                assert_eq!(
+                    x.counters.retransmissions,
+                    x.counters.faults_dropped,
+                    "{}: reliable delivery retransmits once per loss",
+                    a.cell.label()
+                );
+                let mut y = y.clone();
+                y.host_ms = x.host_ms;
+                assert_eq!(
+                    *x,
+                    y,
+                    "{}: fault schedule varies with worker count",
+                    a.cell.label()
+                );
+            }
+            other => panic!("unexpected statuses {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn duplicate_cells_collapse_to_one_execution() {
     let one = Cell::ideal("FFT", 2, Scale::Test);
     let run = run_sweep(&[one.clone(), one.clone(), one.clone()], &quiet_opts());
