@@ -14,7 +14,7 @@ use ssm_core::{LayerConfig, Protocol};
 use ssm_net::CommParams;
 use ssm_proto::HomePolicy;
 use ssm_stats::Table;
-use ssm_sweep::{run_sweep, Cell, SweepCli};
+use ssm_sweep::prelude::*;
 
 const GRANS: [u64; 4] = [64, 256, 1024, 4096];
 const HANDLING: [u64; 2] = [200, 3000];
@@ -56,7 +56,7 @@ fn main() {
             cells.push(base(spec.name, Protocol::Hlrc).with_homes(policy));
         }
     }
-    let run = run_sweep(&cells, &cli.opts());
+    let run = Sweep::enumerate(&cells).configure(&cli).run();
     report_failures(&run);
 
     println!("Ablation 1: SC granularity, {}.\n", cli.describe());

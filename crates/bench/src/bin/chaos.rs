@@ -18,7 +18,7 @@
 use ssm_bench::report_failures;
 use ssm_core::{FaultSpec, LayerConfig, Protocol};
 use ssm_stats::Table;
-use ssm_sweep::{run_sweep, Cell, SweepCli};
+use ssm_sweep::prelude::*;
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -62,20 +62,26 @@ fn main() {
     let apps = cli.apps();
     let protocols = [Protocol::Hlrc, Protocol::Sc];
     let cells_for = |app: &str, proto: Protocol| {
-        let clean = Cell::new(app, proto, LayerConfig::base(), cli.procs, cli.scale);
-        let mut cells = vec![clean.clone()];
-        cells.extend(
-            rates
-                .iter()
-                .map(|&r| clean.clone().with_faults(r, fault_seed)),
-        );
-        cells
+        // Rate 0 is the clean cell: `with_faults(FaultSpec::none())` keeps
+        // the pre-fault cell identity (and cache hash) bit-for-bit.
+        std::iter::once(0)
+            .chain(rates.iter().copied())
+            .map(|r| {
+                Cell::new(
+                    app,
+                    proto,
+                    LayerConfig::base().with_faults(FaultSpec::at(r, fault_seed)),
+                    cli.procs,
+                    cli.scale,
+                )
+            })
+            .collect::<Vec<_>>()
     };
     let all: Vec<Cell> = apps
         .iter()
         .flat_map(|a| protocols.iter().flat_map(|&p| cells_for(a.name, p)))
         .collect();
-    let run = run_sweep(&all, &cli.opts());
+    let run = Sweep::enumerate(&all).configure(&cli).run();
     report_failures(&run);
 
     let mut head = vec![

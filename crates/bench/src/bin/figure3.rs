@@ -4,9 +4,9 @@
 //! costs, per the paper §4.3).
 
 use ssm_bench::{fmt_speedup_opt, report_failures};
-use ssm_core::{CommPreset, LayerConfig, ProtoPreset, Protocol};
+use ssm_core::{LayerConfig, Protocol};
 use ssm_stats::Table;
-use ssm_sweep::{run_sweep, Cell, SweepCli};
+use ssm_sweep::prelude::*;
 
 fn main() {
     let cli = SweepCli::parse();
@@ -16,16 +16,10 @@ fn main() {
     );
 
     let hlrc_cfgs = LayerConfig::figure3(); // B+B BB AB BO AO WO
-    let sc_cfgs: Vec<LayerConfig> = [
-        (CommPreset::BetterThanBest, ProtoPreset::Original),
-        (CommPreset::Best, ProtoPreset::Original),
-        (CommPreset::Halfway, ProtoPreset::Original),
-        (CommPreset::Achievable, ProtoPreset::Original),
-        (CommPreset::Worse, ProtoPreset::Original),
-    ]
-    .into_iter()
-    .map(|(comm, proto)| LayerConfig { comm, proto })
-    .collect();
+    let sc_cfgs: Vec<LayerConfig> = ["B+O", "BO", "HO", "AO", "WO"]
+        .into_iter()
+        .map(|l| LayerConfig::parse(l).expect("known labels"))
+        .collect();
 
     // One flat enumeration: baselines + every bar of every application.
     let apps = cli.apps();
@@ -55,7 +49,7 @@ fn main() {
         cells
     };
     let all: Vec<Cell> = apps.iter().flat_map(|a| cells_for(a.name)).collect();
-    let run = run_sweep(&all, &cli.opts());
+    let run = Sweep::enumerate(&all).configure(&cli).run();
     report_failures(&run);
 
     let mut head = vec!["Application".to_string(), "IDEAL".to_string()];

@@ -5,7 +5,7 @@
 use ssm_bench::report_failures;
 use ssm_core::{LayerConfig, ProtoPreset, Protocol};
 use ssm_stats::{Bucket, Table};
-use ssm_sweep::{run_sweep, Cell, SweepCli};
+use ssm_sweep::prelude::*;
 
 /// The (protocol, configuration) pairs of the figure, in row order.
 fn points(cfgs: &[LayerConfig]) -> Vec<(Protocol, LayerConfig)> {
@@ -38,7 +38,7 @@ fn main() {
                 .map(|(proto, cfg)| Cell::new(spec.name, proto, cfg, cli.procs, cli.scale))
         })
         .collect();
-    let run = run_sweep(&cells, &cli.opts());
+    let run = Sweep::enumerate(&cells).configure(&cli).run();
     report_failures(&run);
 
     let mut head = vec!["App / Config".to_string()];

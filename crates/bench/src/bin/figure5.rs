@@ -9,7 +9,7 @@ use ssm_bench::{fmt_speedup_opt, report_failures};
 use ssm_core::Protocol;
 use ssm_net::CommParams;
 use ssm_stats::Table;
-use ssm_sweep::{run_sweep, Cell, SweepCli};
+use ssm_sweep::prelude::*;
 
 /// (label, multiplier-applied-to-achievable): 0 = free, 1/2, 1, 2.
 const POINTS: [(&str, u64, u64); 4] = [("0x", 0, 1), ("0.5x", 1, 2), ("1x", 1, 1), ("2x", 2, 1)];
@@ -85,7 +85,7 @@ fn main() {
             }
         }
     }
-    let run = run_sweep(&cells, &cli.opts());
+    let run = Sweep::enumerate(&cells).configure(&cli).run();
     report_failures(&run);
 
     for spec in &apps {

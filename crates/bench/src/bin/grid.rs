@@ -6,7 +6,7 @@
 use ssm_bench::{fmt_speedup_opt, report_failures};
 use ssm_core::{CommPreset, LayerConfig, ProtoPreset, Protocol};
 use ssm_stats::Table;
-use ssm_sweep::{run_sweep, Cell, SweepCli};
+use ssm_sweep::prelude::*;
 
 const COMMS: [CommPreset; 5] = [
     CommPreset::Worse,
@@ -44,7 +44,7 @@ fn main() {
         Cell::new(
             app,
             Protocol::Hlrc,
-            LayerConfig { comm, proto },
+            LayerConfig::of(comm, proto),
             cli.procs,
             cli.scale,
         )
@@ -58,7 +58,7 @@ fn main() {
             }
         }
     }
-    let run = run_sweep(&cells, &cli.opts());
+    let run = Sweep::enumerate(&cells).configure(&cli).run();
     report_failures(&run);
 
     for spec in &apps {

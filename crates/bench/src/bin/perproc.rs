@@ -8,7 +8,7 @@
 use ssm_bench::report_failures;
 use ssm_core::{LayerConfig, Protocol};
 use ssm_stats::{Bucket, Table};
-use ssm_sweep::{run_sweep, Cell, SweepCli};
+use ssm_sweep::prelude::*;
 
 fn main() {
     let mut cli = SweepCli::parse();
@@ -28,7 +28,7 @@ fn main() {
             )
         })
         .collect();
-    let run = run_sweep(&cells, &cli.opts());
+    let run = Sweep::enumerate(&cells).configure(&cli).run();
     report_failures(&run);
 
     for (spec, cell) in apps.iter().zip(&cells) {

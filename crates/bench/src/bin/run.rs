@@ -14,7 +14,7 @@ use ssm_apps::catalog::{by_name, suite};
 use ssm_core::{CommPreset, LayerConfig, ProtoPreset, Protocol};
 use ssm_proto::HomePolicy;
 use ssm_stats::{Bucket, Table};
-use ssm_sweep::{run_sweep, Cell, CellStatus, SweepCli};
+use ssm_sweep::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
@@ -104,10 +104,10 @@ fn main() {
         eprintln!("unknown app {:?}; use --list", cli.filter);
         std::process::exit(2)
     });
-    let cfg = LayerConfig {
-        comm: x.comm.unwrap_or(CommPreset::Achievable),
-        proto: x.proto.unwrap_or(ProtoPreset::Original),
-    };
+    let cfg = LayerConfig::of(
+        x.comm.unwrap_or(CommPreset::Achievable),
+        x.proto.unwrap_or(ProtoPreset::Original),
+    );
     let mut cell = Cell::new(
         spec.name,
         x.protocol.unwrap_or(Protocol::Hlrc),
@@ -123,7 +123,7 @@ fn main() {
     }
 
     let cells = vec![Cell::baseline(spec.name, cli.scale), cell.clone()];
-    let run = run_sweep(&cells, &cli.opts());
+    let run = Sweep::enumerate(&cells).configure(&cli).run();
     let outcome = run.outcome(&cell).expect("cell swept");
     let rec = match &outcome.status {
         CellStatus::Done(rec) => rec,

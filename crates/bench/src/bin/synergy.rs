@@ -10,7 +10,7 @@
 use ssm_bench::report_failures;
 use ssm_core::{CommPreset, LayerConfig, ProtoPreset, Protocol};
 use ssm_stats::Table;
-use ssm_sweep::{run_sweep, Cell, SweepCli};
+use ssm_sweep::prelude::*;
 
 const CORNERS: [(CommPreset, ProtoPreset); 4] = [
     (CommPreset::Achievable, ProtoPreset::Original),
@@ -27,7 +27,7 @@ fn main() {
         Cell::new(
             app,
             Protocol::Hlrc,
-            LayerConfig { comm, proto },
+            LayerConfig::of(comm, proto),
             cli.procs,
             cli.scale,
         )
@@ -39,7 +39,7 @@ fn main() {
             cells.push(cell(spec.name, comm, proto));
         }
     }
-    let run = run_sweep(&cells, &cli.opts());
+    let run = Sweep::enumerate(&cells).configure(&cli).run();
     report_failures(&run);
 
     let mut t = Table::new(vec![

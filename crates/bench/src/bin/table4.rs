@@ -5,7 +5,7 @@
 use ssm_bench::report_failures;
 use ssm_core::{LayerConfig, Protocol};
 use ssm_stats::Table;
-use ssm_sweep::{run_sweep, Cell, SweepCli};
+use ssm_sweep::prelude::*;
 
 fn main() {
     let cli = SweepCli::parse();
@@ -27,7 +27,7 @@ fn main() {
             )
         })
         .collect();
-    let run = run_sweep(&cells, &cli.opts());
+    let run = Sweep::enumerate(&cells).configure(&cli).run();
     report_failures(&run);
 
     let mut t = Table::new(vec![

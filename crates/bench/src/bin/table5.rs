@@ -5,10 +5,10 @@
 use ssm_bench::{fmt_speedup_opt, report_failures};
 use ssm_core::{CommPreset, LayerConfig, ProtoPreset, Protocol};
 use ssm_stats::Table;
-use ssm_sweep::{run_sweep, Cell, SweepCli};
+use ssm_sweep::prelude::*;
 
 fn cfg(comm: CommPreset, proto: ProtoPreset) -> LayerConfig {
-    LayerConfig { comm, proto }
+    LayerConfig::of(comm, proto)
 }
 
 /// Configurations ordered from cheapest improvement to most aggressive;
@@ -43,7 +43,7 @@ fn main() {
             cells.push(cell(spec.name, comm, proto));
         }
     }
-    let run = run_sweep(&cells, &cli.opts());
+    let run = Sweep::enumerate(&cells).configure(&cli).run();
     report_failures(&run);
 
     let mut t = Table::new(vec![

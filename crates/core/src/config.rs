@@ -52,6 +52,18 @@ impl CommPreset {
             CommPreset::Worse => "W",
         }
     }
+
+    /// Parses a preset from its paper label (`A`, `B`, `B+`, `H`, `W`).
+    pub fn from_label(s: &str) -> Result<Self, String> {
+        match s {
+            "A" => Ok(CommPreset::Achievable),
+            "B" => Ok(CommPreset::Best),
+            "B+" => Ok(CommPreset::BetterThanBest),
+            "H" => Ok(CommPreset::Halfway),
+            "W" => Ok(CommPreset::Worse),
+            other => Err(format!("unknown comm preset {other:?}")),
+        }
+    }
 }
 
 /// Named protocol-layer cost sets (Table 3).
@@ -90,43 +102,85 @@ impl ProtoPreset {
             ProtoPreset::Halfway => "H",
         }
     }
+
+    /// Parses a preset from its paper label (`O`, `H`, `B`).
+    pub fn from_label(s: &str) -> Result<Self, String> {
+        match s {
+            "O" => Ok(ProtoPreset::Original),
+            "H" => Ok(ProtoPreset::Halfway),
+            "B" => Ok(ProtoPreset::Best),
+            other => Err(format!("unknown proto preset {other:?}")),
+        }
+    }
 }
 
-/// A `<communication><protocol>` configuration, labelled as in the paper:
-/// "AO" is the base system, "BB" idealizes both system layers, "B+B" adds
-/// the better-than-best network, "WO" degrades communication 2x.
+/// The typed bundle of everything below the application in the layer
+/// stack: a `<communication><protocol>` configuration labelled as in the
+/// paper ("AO" is the base system, "BB" idealizes both system layers,
+/// "B+B" adds the better-than-best network, "WO" degrades communication
+/// 2x), plus the fault-injection setting of the network underneath.
+///
+/// This is the one value benchmarks hand to [`crate::SimBuilder::layers`]
+/// and to the sweep cell model instead of assembling `(CommPreset,
+/// ProtoPreset, FaultSpec)` tuples by hand. Construct named points with
+/// [`LayerConfig::of`] or [`LayerConfig::parse`] and refine with
+/// [`LayerConfig::with_faults`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LayerConfig {
     /// Communication-layer preset.
     pub comm: CommPreset,
     /// Protocol-layer preset.
     pub proto: ProtoPreset,
+    /// Fault injection beneath the communication layer (off by default;
+    /// excluded from [`LayerConfig::label`], which names only the paper's
+    /// two-letter vocabulary).
+    pub faults: FaultSpec,
 }
 
 impl LayerConfig {
     /// The base system ("AO").
     pub fn base() -> Self {
+        LayerConfig::of(CommPreset::Achievable, ProtoPreset::Original)
+    }
+
+    /// The configuration at a named communication/protocol preset pair,
+    /// fault-free.
+    pub fn of(comm: CommPreset, proto: ProtoPreset) -> Self {
         LayerConfig {
-            comm: CommPreset::Achievable,
-            proto: ProtoPreset::Original,
+            comm,
+            proto,
+            faults: FaultSpec::none(),
         }
+    }
+
+    /// Parses a paper label ("AO", "BB", "B+B", "HO", …) into the named
+    /// configuration: everything but the last character is the
+    /// communication preset, the last character the protocol preset.
+    pub fn parse(label: &str) -> Result<Self, String> {
+        if label.len() < 2 {
+            return Err(format!("layer config label too short: {label:?}"));
+        }
+        let (comm, proto) = label.split_at(label.len() - 1);
+        Ok(LayerConfig::of(
+            CommPreset::from_label(comm).map_err(|e| format!("in {label:?}: {e}"))?,
+            ProtoPreset::from_label(proto).map_err(|e| format!("in {label:?}: {e}"))?,
+        ))
+    }
+
+    /// The same configuration with deterministic fault injection set.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The configurations shown as bars in Figure 3, best to worst:
     /// B+B, BB, AB, BO, AO, WO. (HO/AH/HB are discussed in the text and
     /// available through [`LayerConfig::full_grid`].)
     pub fn figure3() -> Vec<LayerConfig> {
-        [
-            (CommPreset::BetterThanBest, ProtoPreset::Best),
-            (CommPreset::Best, ProtoPreset::Best),
-            (CommPreset::Achievable, ProtoPreset::Best),
-            (CommPreset::Best, ProtoPreset::Original),
-            (CommPreset::Achievable, ProtoPreset::Original),
-            (CommPreset::Worse, ProtoPreset::Original),
-        ]
-        .into_iter()
-        .map(|(comm, proto)| LayerConfig { comm, proto })
-        .collect()
+        ["B+B", "BB", "AB", "BO", "AO", "WO"]
+            .into_iter()
+            .map(|l| LayerConfig::parse(l).expect("known labels"))
+            .collect()
     }
 
     /// Every combination of the five communication and three protocol
@@ -135,15 +189,23 @@ impl LayerConfig {
         let mut v = Vec::new();
         for comm in CommPreset::ALL {
             for proto in ProtoPreset::ALL {
-                v.push(LayerConfig { comm, proto });
+                v.push(LayerConfig::of(comm, proto));
             }
         }
         v
     }
 
-    /// The paper's two-letter label ("AO", "BB", "B+B", …).
+    /// The paper's two-letter label ("AO", "BB", "B+B", …). Fault
+    /// injection is not part of the paper's vocabulary and is excluded;
+    /// see [`FaultSpec::label`].
     pub fn label(self) -> String {
         format!("{}{}", self.comm.label(), self.proto.label())
+    }
+}
+
+impl Default for LayerConfig {
+    fn default() -> Self {
+        LayerConfig::base()
     }
 }
 
@@ -236,6 +298,18 @@ impl Protocol {
             Protocol::Ideal => "IDEAL",
         }
     }
+
+    /// Parses a display name back into the protocol.
+    pub fn from_label(s: &str) -> Result<Self, String> {
+        match s {
+            "HLRC" => Ok(Protocol::Hlrc),
+            "AURC" => Ok(Protocol::Aurc),
+            "SC" => Ok(Protocol::Sc),
+            "SC-delayed" => Ok(Protocol::ScDelayed),
+            "IDEAL" => Ok(Protocol::Ideal),
+            other => Err(format!("unknown protocol {other:?}")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,5 +338,47 @@ mod tests {
         assert_eq!(CommPreset::Best.params().host_overhead, 0);
         assert_eq!(ProtoPreset::Halfway.costs().handler_base, 50);
         assert_eq!(Protocol::Hlrc.label(), "HLRC");
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for comm in CommPreset::ALL {
+            assert_eq!(CommPreset::from_label(comm.label()), Ok(comm));
+        }
+        for proto in ProtoPreset::ALL {
+            assert_eq!(ProtoPreset::from_label(proto.label()), Ok(proto));
+        }
+        for p in [
+            Protocol::Hlrc,
+            Protocol::Aurc,
+            Protocol::Sc,
+            Protocol::ScDelayed,
+            Protocol::Ideal,
+        ] {
+            assert_eq!(Protocol::from_label(p.label()), Ok(p));
+        }
+        for cfg in LayerConfig::full_grid() {
+            assert_eq!(LayerConfig::parse(&cfg.label()), Ok(cfg));
+        }
+        assert_eq!(
+            LayerConfig::parse("B+B"),
+            Ok(LayerConfig::of(
+                CommPreset::BetterThanBest,
+                ProtoPreset::Best
+            ))
+        );
+        assert!(LayerConfig::parse("XO").is_err());
+        assert!(LayerConfig::parse("A").is_err());
+    }
+
+    #[test]
+    fn layer_config_carries_faults() {
+        let base = LayerConfig::base();
+        assert!(base.faults.is_none());
+        let faulty = base.with_faults(FaultSpec::at(10_000, 42));
+        assert_eq!(faulty.faults.rate_ppm, 10_000);
+        // The paper's label vocabulary is unaffected by fault injection.
+        assert_eq!(faulty.label(), base.label());
+        assert_eq!(LayerConfig::default(), base);
     }
 }

@@ -11,7 +11,7 @@
 //! # Example
 //!
 //! ```rust
-//! use ssm_core::{CommPreset, Protocol, ProtoPreset, SimBuilder};
+//! use ssm_core::{LayerConfig, Protocol, SimBuilder};
 //! use ssm_proto::{Proc, ThreadBody, Workload, World};
 //!
 //! // A toy workload: every processor increments its own counter slot.
@@ -34,8 +34,7 @@
 //!
 //! let r = SimBuilder::new(Protocol::Hlrc)
 //!     .procs(4)
-//!     .comm(CommPreset::Achievable.params())
-//!     .proto(ProtoPreset::Original.costs())
+//!     .layers(LayerConfig::parse("AO").unwrap())
 //!     .run(&Count);
 //! assert_eq!(r.nprocs, 4);
 //! assert!(r.total_cycles >= 100);
@@ -110,9 +109,13 @@ impl SimBuilder {
         self
     }
 
-    /// Sets both layers from a named configuration.
+    /// Sets both layer-cost presets *and* the fault-injection spec from a
+    /// named configuration — the one-call path from a [`LayerConfig`]
+    /// (e.g. `LayerConfig::parse("AO")`) to a configured builder.
     pub fn layers(self, cfg: LayerConfig) -> Self {
-        self.comm(cfg.comm.params()).proto(cfg.proto.costs())
+        self.comm(cfg.comm.params())
+            .proto(cfg.proto.costs())
+            .faults(cfg.faults)
     }
 
     /// Sets the node memory-hierarchy configuration.

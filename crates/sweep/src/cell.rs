@@ -140,7 +140,8 @@ pub struct Cell {
 }
 
 impl Cell {
-    /// A cell at a named layer configuration.
+    /// A cell at a named layer configuration (including any fault spec the
+    /// configuration carries — `LayerConfig::base()` keeps faults off).
     pub fn new(
         app: &str,
         protocol: Protocol,
@@ -157,8 +158,8 @@ impl Cell {
             scale,
             sc_block: None,
             homes: HomePolicy::RoundRobin,
-            fault_rate_ppm: 0,
-            fault_seed: 0,
+            fault_rate_ppm: cfg.faults.rate_ppm,
+            fault_seed: cfg.faults.seed,
         }
     }
 
@@ -366,34 +367,15 @@ pub fn scale_from_label(s: &str) -> Result<Scale, String> {
 }
 
 fn protocol_from_label(s: &str) -> Result<Protocol, String> {
-    match s {
-        "HLRC" => Ok(Protocol::Hlrc),
-        "AURC" => Ok(Protocol::Aurc),
-        "SC" => Ok(Protocol::Sc),
-        "SC-delayed" => Ok(Protocol::ScDelayed),
-        "IDEAL" => Ok(Protocol::Ideal),
-        other => Err(format!("unknown protocol {other:?}")),
-    }
+    Protocol::from_label(s)
 }
 
 fn comm_preset_from_label(s: &str) -> Result<CommPreset, String> {
-    match s {
-        "A" => Ok(CommPreset::Achievable),
-        "B" => Ok(CommPreset::Best),
-        "B+" => Ok(CommPreset::BetterThanBest),
-        "H" => Ok(CommPreset::Halfway),
-        "W" => Ok(CommPreset::Worse),
-        other => Err(format!("unknown comm preset {other:?}")),
-    }
+    CommPreset::from_label(s)
 }
 
 fn proto_preset_from_label(s: &str) -> Result<ProtoPreset, String> {
-    match s {
-        "O" => Ok(ProtoPreset::Original),
-        "H" => Ok(ProtoPreset::Halfway),
-        "B" => Ok(ProtoPreset::Best),
-        other => Err(format!("unknown proto preset {other:?}")),
-    }
+    ProtoPreset::from_label(s)
 }
 
 fn homes_label(h: HomePolicy) -> &'static str {
@@ -488,10 +470,7 @@ mod tests {
         let b = Cell::new(
             "FFT",
             Protocol::Ideal,
-            LayerConfig {
-                comm: CommPreset::Best,
-                proto: ProtoPreset::Best,
-            },
+            LayerConfig::of(CommPreset::Best, ProtoPreset::Best),
             1,
             Scale::Test,
         );
@@ -521,6 +500,24 @@ mod tests {
         // The ideal machine never sends, so its cells ignore fault specs.
         let ideal = Cell::ideal("FFT", 1, Scale::Test);
         assert_eq!(ideal.clone().with_faults(10_000, 42).hash(), ideal.hash());
+    }
+
+    #[test]
+    fn layer_config_faults_flow_into_the_cell() {
+        use ssm_core::FaultSpec;
+        let via_cfg = Cell::new(
+            "FFT",
+            Protocol::Hlrc,
+            LayerConfig::base().with_faults(FaultSpec::at(10_000, 42)),
+            16,
+            Scale::Bench,
+        );
+        assert_eq!(via_cfg, cell().with_faults(10_000, 42));
+        // A fault-free config builds the exact pre-fault cell identity.
+        assert_eq!(
+            Cell::new("FFT", Protocol::Hlrc, LayerConfig::base(), 16, Scale::Bench).hash(),
+            cell().hash()
+        );
     }
 
     #[test]

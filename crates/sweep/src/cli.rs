@@ -11,7 +11,16 @@
 //! * `--retries N` — rerun panicked/timed-out cells up to N extra times
 //!   (default 0);
 //! * `--results DIR` — results directory (default `results/`);
-//! * `--quiet` — suppress stderr progress.
+//! * `--quiet` — suppress stderr progress;
+//! * `--shards N` — coordinator mode: run the sweep as N worker
+//!   subprocesses and merge their caches (requires the cache);
+//! * `--shard i/N` — restrict to the cells whose hash lands on shard `i`
+//!   of an N-way partition;
+//! * `--worker` — run the `--shard` slice into `--results` and exit
+//!   (used by the coordinator; composable by hand for multi-machine
+//!   sharding);
+//! * `--shard-retries N` — worker relaunches for incomplete shards
+//!   (default 2).
 //!
 //! Binaries with extra flags use [`SweepCli::parse_with`] and handle their
 //! own in the callback.
@@ -23,6 +32,7 @@ use ssm_apps::catalog::{suite, AppSpec, Scale};
 
 use crate::cell::{scale_from_label, scale_label};
 use crate::exec::SweepOpts;
+use crate::shard::ShardSpec;
 
 /// Prints a usage error and exits with status 2 (no panic backtrace).
 fn die(msg: &str) -> ! {
@@ -51,6 +61,14 @@ pub struct SweepCli {
     pub results_dir: PathBuf,
     /// Suppress stderr progress.
     pub quiet: bool,
+    /// Coordinator mode: number of worker subprocesses to shard over.
+    pub shards: Option<usize>,
+    /// Restrict to one shard of the cell partition.
+    pub shard: Option<ShardSpec>,
+    /// Worker mode: run the shard slice into `--results`, then exit.
+    pub worker: bool,
+    /// Worker relaunches for shards that come back incomplete.
+    pub shard_retries: u32,
 }
 
 impl Default for SweepCli {
@@ -65,6 +83,10 @@ impl Default for SweepCli {
             retries: 0,
             results_dir: PathBuf::from("results"),
             quiet: false,
+            shards: None,
+            shard: None,
+            worker: false,
+            shard_retries: 2,
         }
     }
 }
@@ -76,7 +98,7 @@ impl SweepCli {
     pub fn parse() -> Self {
         Self::parse_with(|flag, _| {
             die(&format!(
-                "unknown flag {flag}; use --procs/--scale/--app/--jobs/--no-cache/--timeout/--retries/--results/--quiet"
+                "unknown flag {flag}; use --procs/--scale/--app/--jobs/--no-cache/--timeout/--retries/--results/--quiet/--shards/--shard/--worker/--shard-retries"
             ))
         })
     }
@@ -132,8 +154,38 @@ impl SweepCli {
                         PathBuf::from(args.next().unwrap_or_else(|| die("--results needs a dir")));
                 }
                 "--quiet" => cli.quiet = true,
+                "--shards" => {
+                    cli.shards = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n: &usize| n > 0)
+                            .unwrap_or_else(|| die("--shards needs a positive number")),
+                    );
+                }
+                "--shard" => {
+                    let v = args.next().unwrap_or_else(|| die("--shard needs i/N"));
+                    cli.shard = Some(
+                        ShardSpec::parse(&v).unwrap_or_else(|e| die(&format!("--shard: {e}"))),
+                    );
+                }
+                "--worker" => cli.worker = true,
+                "--shard-retries" => {
+                    cli.shard_retries = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--shard-retries needs a number"));
+                }
                 other => extra(other, &mut args),
             }
+        }
+        if cli.worker && cli.shard.is_none() {
+            die("--worker requires --shard i/N");
+        }
+        if cli.shards.is_some() && (cli.shard.is_some() || cli.worker) {
+            die("--shards (coordinator mode) conflicts with --shard/--worker");
+        }
+        if cli.shards.is_some() && cli.no_cache {
+            die("--shards needs the cache to collect worker results; drop --no-cache");
         }
         cli
     }
@@ -156,7 +208,12 @@ impl SweepCli {
     }
 
     /// Executor options for this invocation.
+    #[deprecated(note = "use `Sweep::enumerate(cells).configure(&cli).run()` instead")]
     pub fn opts(&self) -> SweepOpts {
+        self.sweep_opts()
+    }
+
+    pub(crate) fn sweep_opts(&self) -> SweepOpts {
         SweepOpts {
             jobs: self.jobs,
             cache: !self.no_cache,
@@ -208,7 +265,7 @@ mod tests {
         cli.timeout_secs = Some(7);
         cli.retries = 2;
         cli.quiet = true;
-        let opts = cli.opts();
+        let opts = cli.sweep_opts();
         assert_eq!(opts.jobs, 3);
         assert!(!opts.cache);
         assert_eq!(opts.timeout, Some(Duration::from_secs(7)));

@@ -108,7 +108,7 @@ impl Default for SweepOpts {
 pub struct SweepRun {
     /// Unique cells in first-occurrence order.
     pub outcomes: Vec<CellOutcome>,
-    index: HashMap<String, usize>,
+    pub(crate) index: HashMap<String, usize>,
     /// Cells actually simulated during this run.
     pub executed: usize,
     /// Cells served from the cache.
@@ -417,18 +417,11 @@ impl Progress {
     }
 }
 
-/// Executes `cells` (deduplicated by hash, first occurrence wins) and
-/// returns the outcomes in enumeration order.
-///
-/// Cached cells are served from the [`ResultStore`] without executing;
-/// fresh results are appended to it as they complete. With
-/// `opts.summary`, the sweep's `bench_summary.json` is (re)written at the
-/// end.
-pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
-    install_panic_filter();
-    let sweep_started = Instant::now();
-
-    // Deduplicate, preserving enumeration order.
+/// Deduplicates `cells` by hash, first occurrence wins, preserving
+/// enumeration order. Returns the hash→slot index and the unique
+/// `(cell, hash)` list — the shared front half of both the local executor
+/// and the shard coordinator.
+pub(crate) fn dedup_cells(cells: &[Cell]) -> (HashMap<String, usize>, Vec<(Cell, String)>) {
     let mut index: HashMap<String, usize> = HashMap::new();
     let mut unique: Vec<(Cell, String)> = Vec::new();
     for cell in cells {
@@ -438,6 +431,28 @@ pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
             unique.len() - 1
         });
     }
+    (index, unique)
+}
+
+/// Executes `cells` (deduplicated by hash, first occurrence wins) and
+/// returns the outcomes in enumeration order.
+///
+/// Cached cells are served from the [`ResultStore`] without executing;
+/// fresh results are appended to it as they complete. With
+/// `opts.summary`, the sweep's `bench_summary.json` is (re)written at the
+/// end.
+#[deprecated(note = "use `Sweep::enumerate(cells).options(opts).run()` instead")]
+pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
+    run_local(cells, opts)
+}
+
+/// The in-process executor behind [`crate::Sweep::run`] (and the
+/// deprecated [`run_sweep`] wrapper).
+pub(crate) fn run_local(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
+    install_panic_filter();
+    let sweep_started = Instant::now();
+
+    let (index, unique) = dedup_cells(cells);
 
     let store = if opts.cache {
         match ResultStore::open(&opts.results_dir) {

@@ -8,21 +8,23 @@
 //! * [`Cell`] — a content-addressed cell description with a stable hash
 //!   ([`Cell::hash`]), so identical cells are recognized across binaries
 //!   and sessions;
-//! * [`run_sweep`] — a work-stealing parallel executor (std threads only)
-//!   with per-cell panic capture, wall-time limits, live progress and
-//!   deterministic result ordering;
+//! * [`Sweep`] — the builder front door: an in-process work-stealing
+//!   executor (std threads only) with per-cell panic capture, wall-time
+//!   limits, live progress and deterministic result ordering; or, behind
+//!   the same call, a shard **coordinator** that fans the cells out over
+//!   worker subprocesses and merges their caches ([`Sweep::shards`]);
 //! * [`ResultStore`] — an append-only JSONL cache under `results/` keyed
 //!   by cell hash, making every sweep resumable and shareable between
 //!   binaries; plus `results/bench_summary.json`, the machine-readable
 //!   summary of the latest sweep;
 //! * [`SweepCli`] — the common `--procs/--scale/--app/--jobs/--no-cache`
-//!   command line every binary speaks.
+//!   (and `--shards/--shard/--worker`) command line every binary speaks.
 //!
 //! A typical binary enumerates its cells, runs one sweep, then renders its
 //! figure/table from the returned [`SweepRun`]:
 //!
 //! ```no_run
-//! use ssm_sweep::{Cell, SweepCli};
+//! use ssm_sweep::prelude::*;
 //! use ssm_core::{LayerConfig, Protocol};
 //!
 //! let cli = SweepCli::parse();
@@ -31,7 +33,7 @@
 //!     cells.push(Cell::baseline(app.name, cli.scale)); // speedup denominator
 //!     cells.push(Cell::new(app.name, Protocol::Hlrc, LayerConfig::base(), cli.procs, cli.scale));
 //! }
-//! let run = ssm_sweep::run_sweep(&cells, &cli.opts());
+//! let run = Sweep::enumerate(&cells).configure(&cli).run();
 //! for cell in &cells {
 //!     if let Some(s) = run.speedup(cell) {
 //!         println!("{}: {s:.2}", cell.label());
@@ -39,16 +41,35 @@
 //! }
 //! ```
 
+pub mod builder;
 pub mod cell;
 pub mod cli;
+mod coordinator;
 pub mod exec;
 pub mod json;
+pub mod merge;
 pub mod record;
+pub mod shard;
 pub mod store;
 
+pub use builder::Sweep;
 pub use cell::{scale_from_label, scale_label, Cell, CommSpec};
 pub use cli::SweepCli;
-pub use exec::{execute, run_sweep, CellOutcome, CellStatus, SweepOpts, SweepRun};
+#[allow(deprecated)]
+pub use exec::run_sweep;
+pub use exec::{execute, CellOutcome, CellStatus, SweepOpts, SweepRun};
 pub use json::Json;
+pub use merge::{merge_caches, MergeError, MergeOutcome};
 pub use record::{CellRecord, SCHEMA_VERSION};
+pub use shard::{shard_of, ShardSpec, SHARDS_DIR};
 pub use store::{ResultStore, CACHE_FILE, SUMMARY_FILE};
+
+/// Everything a bench binary needs: `use ssm_sweep::prelude::*;`.
+pub mod prelude {
+    pub use crate::builder::Sweep;
+    pub use crate::cell::{Cell, CommSpec};
+    pub use crate::cli::SweepCli;
+    pub use crate::exec::{CellOutcome, CellStatus, SweepOpts, SweepRun};
+    pub use crate::record::CellRecord;
+    pub use crate::shard::ShardSpec;
+}

@@ -68,6 +68,16 @@ impl CellRecord {
         }
     }
 
+    /// A copy with the one nondeterministic field (`host_ms`) zeroed — the
+    /// form the shard merge writes, so merged caches come out
+    /// byte-identical across reruns and shard counts.
+    pub fn canonical(&self) -> Self {
+        CellRecord {
+            host_ms: 0,
+            ..self.clone()
+        }
+    }
+
     /// Processor `p`'s breakdown.
     pub fn breakdown(&self, p: usize) -> Breakdown {
         let mut b = Breakdown::new();

@@ -6,7 +6,11 @@ use std::path::PathBuf;
 
 use ssm_apps::catalog::Scale;
 use ssm_core::{LayerConfig, Protocol};
-use ssm_sweep::{run_sweep, Cell, CellStatus, Json, SweepOpts, CACHE_FILE, SUMMARY_FILE};
+use ssm_sweep::{Cell, CellStatus, Json, Sweep, SweepOpts, CACHE_FILE, SUMMARY_FILE};
+
+fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> ssm_sweep::SweepRun {
+    Sweep::enumerate(cells).options(opts.clone()).run()
+}
 
 fn quiet_opts() -> SweepOpts {
     SweepOpts {
@@ -224,4 +228,15 @@ fn no_cache_runs_do_not_touch_disk() {
     let run = run_sweep(&[Cell::ideal("FFT", 2, Scale::Test)], &opts);
     assert_eq!(run.executed, 1);
     assert!(!dir.exists(), "no-cache sweep created {dir:?}");
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_sweep_wrapper_still_works() {
+    // The pre-builder entry point must stay behaviorally identical for
+    // out-of-tree callers until it is removed.
+    let cell = Cell::ideal("FFT", 2, Scale::Test);
+    let old = ssm_sweep::run_sweep(std::slice::from_ref(&cell), &quiet_opts());
+    assert_eq!(old.executed, 1);
+    assert!(old.record(&cell).is_some());
 }

@@ -94,15 +94,9 @@ fn better_layers_never_slow_hlrc_down() {
             .run(w.as_ref())
             .total_cycles
     };
-    let wo = run(LayerConfig {
-        comm: CommPreset::Worse,
-        proto: ProtoPreset::Original,
-    });
+    let wo = run(LayerConfig::of(CommPreset::Worse, ProtoPreset::Original));
     let ao = run(LayerConfig::base());
-    let bb = run(LayerConfig {
-        comm: CommPreset::Best,
-        proto: ProtoPreset::Best,
-    });
+    let bb = run(LayerConfig::of(CommPreset::Best, ProtoPreset::Best));
     assert!(bb <= ao, "BB {bb} should not exceed AO {ao}");
     assert!(ao <= wo, "AO {ao} should not exceed WO {wo}");
 }
