@@ -17,12 +17,54 @@
 //! it executes, so bucket sums track wall time closely (small deviations
 //! can occur when a handler slips into an already-closed window; the
 //! remainder rule saturates at zero).
+//!
+//! # Batched handoffs
+//!
+//! With batching enabled (the default), threads run against a
+//! hint-carrying [`Proc`] that hands whole *runs* of operations to the
+//! driver in one baton exchange. The driver queues each batch per
+//! processor and replays it **one operation per scheduling step**: a step
+//! either pops the next queued operation or — only when the queue is
+//! empty — resumes the thread for more. The operation stream each
+//! processor feeds the protocol, and the order the scheduler interleaves
+//! the processors, are therefore exactly those of an unbatched run, and
+//! every simulated result is byte-identical; only the handoff counters
+//! differ. Hints are learned here (an access that sent zero messages
+//! marks its pages local for that processor) and revoked by the machine
+//! on protocol invalidation.
 
-use ssm_engine::{Cycles, Resumed, ThreadId, ThreadPool};
-use ssm_proto::{Machine, Op, Proc, Protocol as ProtocolTrait, Workload, World, WorldShape};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use ssm_engine::{Cycles, Resumed, ThreadId, ThreadPool, WorkerSet};
+use ssm_proto::{
+    HintBoard, Machine, Op, Proc, Protocol as ProtocolTrait, Workload, World, WorldShape,
+    FLUSH_CAP, FLUSH_END, FLUSH_MISS, FLUSH_SYNC,
+};
 use ssm_stats::Bucket;
 
 use crate::result::RunResult;
+
+/// Host-side engine knobs. None of them affect simulated results — they
+/// trade OS context switches and thread spawns for bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Recycle OS threads from this set instead of spawning per run.
+    pub workers: Option<WorkerSet>,
+    /// Accumulate hint-predicted-local operations into one baton handoff
+    /// per run (see [`ssm_proto::vm`] module docs). On by default.
+    pub batching: Batching,
+}
+
+/// Whether operation batching is enabled (newtype so the default is *on*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batching(pub bool);
+
+impl Default for Batching {
+    fn default() -> Self {
+        Batching(true)
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PState {
@@ -35,6 +77,23 @@ enum PState {
     Done,
 }
 
+/// Runs `workload` with default [`EngineOptions`] (batching on, private
+/// thread pool). See [`run_simulation_with`].
+pub fn run_simulation(
+    protocol: &mut dyn ProtocolTrait,
+    workload: &dyn Workload,
+    nprocs: usize,
+    machine: Machine,
+) -> RunResult {
+    run_simulation_with(
+        protocol,
+        workload,
+        nprocs,
+        machine,
+        &EngineOptions::default(),
+    )
+}
+
 /// Runs `workload` on `nprocs` simulated processors under `protocol`,
 /// against an already-built [`Machine`]. Returns the measured result.
 ///
@@ -44,11 +103,12 @@ enum PState {
 /// * on deadlock (every unfinished processor blocked — e.g. a barrier that
 ///   not all processors reach),
 /// * if an application thread panics.
-pub fn run_simulation(
+pub fn run_simulation_with(
     protocol: &mut dyn ProtocolTrait,
     workload: &dyn Workload,
     nprocs: usize,
     mut machine: Machine,
+    opts: &EngineOptions,
 ) -> RunResult {
     assert_eq!(machine.nprocs(), nprocs, "machine size must match nprocs");
     let mut world = World::new(workload.mem_bytes());
@@ -65,17 +125,34 @@ pub fn run_simulation(
     };
     protocol.init(&machine, &shape);
 
-    let mut pool: ThreadPool<Op> = ThreadPool::new();
+    let board = if opts.batching.0 {
+        let board = Arc::new(HintBoard::new(nprocs));
+        machine.set_hint_board(board.clone());
+        Some(board)
+    } else {
+        None
+    };
+
+    let mut pool: ThreadPool<Op> = match &opts.workers {
+        Some(ws) => ThreadPool::with_workers(ws.clone()),
+        None => ThreadPool::new(),
+    };
     for (pid, body) in bodies.into_iter().enumerate() {
+        let board = board.clone();
         pool.spawn(move |y| {
-            let proc = Proc::new(y, pid, nprocs);
+            let proc = match board {
+                Some(board) => Proc::batched(y, pid, nprocs, board),
+                None => Proc::new(y, pid, nprocs),
+            };
             body(&proc);
-            proc.flush();
+            proc.finish();
         });
     }
 
     let m = &mut machine;
     let mut state = vec![PState::Ready; nprocs];
+    // Operations received in a batch but not yet replayed, per processor.
+    let mut queued: Vec<VecDeque<Op>> = vec![VecDeque::new(); nprocs];
     let mut done = 0usize;
     while done < nprocs {
         // Pick the ready processor with the smallest clock (determinism:
@@ -95,15 +172,43 @@ pub fn run_simulation(
             );
         };
 
-        match pool.resume(ThreadId(p)) {
-            Resumed::Finished => {
+        // One operation per step: replay from the processor's queue, and
+        // only hand the baton over when the queue is dry.
+        let next = match queued[p].pop_front() {
+            Some(op) => Some(op),
+            None => {
+                m.counters_mut(p).handoffs += 1;
+                match pool.resume(ThreadId(p)) {
+                    Resumed::Finished => None,
+                    Resumed::Op(op) => Some(op),
+                    Resumed::Batch(ops, cause) => {
+                        let c = m.counters_mut(p);
+                        c.ops_batched += ops.len() as u64;
+                        match cause {
+                            FLUSH_SYNC => c.flush_sync += 1,
+                            FLUSH_MISS => c.flush_miss += 1,
+                            FLUSH_CAP => c.flush_cap += 1,
+                            FLUSH_END => c.flush_end += 1,
+                            other => panic!("unknown batch-flush cause {other}"),
+                        }
+                        queued[p].extend(ops);
+                        queued[p].pop_front()
+                    }
+                }
+            }
+        };
+
+        match next {
+            None => {
                 protocol.finished(m, p);
                 state[p] = PState::Done;
                 done += 1;
             }
-            Resumed::Op(op) => {
+            Some(op) => {
+                m.counters_mut(p).sim_ops += 1;
                 let t0 = m.clock[p];
                 let before = m.breakdowns()[p].total();
+                let msgs_before = m.counters()[p].messages;
                 match op {
                     Op::Compute(c) => {
                         let (_, end) = m.occupy_cpu(p, t0, c);
@@ -113,10 +218,12 @@ pub fn run_simulation(
                     Op::Read { addr, bytes } => {
                         let t = protocol.read(m, p, addr, bytes);
                         settle(m, p, t0, t, before, Bucket::DataWait);
+                        observe(&board, m, p, msgs_before, addr, bytes, false);
                     }
                     Op::Write { addr, bytes } => {
                         let t = protocol.write(m, p, addr, bytes);
                         settle(m, p, t0, t, before, Bucket::DataWait);
+                        observe(&board, m, p, msgs_before, addr, bytes, true);
                     }
                     Op::Lock(l) => match protocol.lock(m, p, l) {
                         Some(t) => settle(m, p, t0, t, before, Bucket::LockWait),
@@ -171,6 +278,7 @@ pub fn run_simulation(
         .iter()
         .fold(ssm_stats::Counters::default(), |a, b| a.merge(b));
     let trace = m.take_trace();
+    let (threads_spawned, threads_reused) = pool.thread_stats();
     RunResult {
         app: workload.name(),
         protocol: protocol.name().to_string(),
@@ -181,6 +289,27 @@ pub fn run_simulation(
         counters,
         verify_error: workload.verify().err(),
         trace,
+        threads_spawned: threads_spawned as u64,
+        threads_reused: threads_reused as u64,
+    }
+}
+
+/// Hint learning: an access that completed without `p` sending a single
+/// message is local; mark its pages so the thread-side `Proc` can batch
+/// the next access. (Pure host-time policy — see `ssm-proto::hint`.)
+fn observe(
+    board: &Option<Arc<HintBoard>>,
+    m: &Machine,
+    p: usize,
+    msgs_before: u64,
+    addr: u64,
+    bytes: u64,
+    write: bool,
+) {
+    if let Some(board) = board {
+        if m.counters()[p].messages == msgs_before {
+            board.observe_local(p, addr, bytes, write);
+        }
     }
 }
 

@@ -45,7 +45,7 @@ pub mod driver;
 pub mod result;
 
 pub use config::{CommPreset, FaultSpec, LayerConfig, ProtoPreset, Protocol};
-pub use driver::run_simulation;
+pub use driver::{run_simulation, run_simulation_with, EngineOptions};
 pub use result::RunResult;
 
 use ssm_hlrc::Hlrc;
@@ -72,6 +72,8 @@ pub struct SimBuilder {
     homes: HomePolicy,
     trace: bool,
     faults: FaultSpec,
+    workers: Option<ssm_engine::WorkerSet>,
+    batching: bool,
 }
 
 impl SimBuilder {
@@ -88,6 +90,8 @@ impl SimBuilder {
             homes: HomePolicy::RoundRobin,
             trace: false,
             faults: FaultSpec::none(),
+            workers: None,
+            batching: true,
         }
     }
 
@@ -157,6 +161,22 @@ impl SimBuilder {
         self
     }
 
+    /// Leases application threads from a shared [`ssm_engine::WorkerSet`]
+    /// so consecutive runs recycle parked OS threads instead of spawning
+    /// (host-side only; results are unaffected).
+    pub fn workers(mut self, workers: ssm_engine::WorkerSet) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Toggles batched baton handoffs (default on). Simulated results are
+    /// byte-identical either way; off is useful for measuring the handoff
+    /// reduction and for A/B tests.
+    pub fn batching(mut self, enable: bool) -> Self {
+        self.batching = enable;
+        self
+    }
+
     /// Runs `workload` and returns the measurements.
     ///
     /// # Panics
@@ -179,26 +199,30 @@ impl SimBuilder {
                 self.faults.seed,
             ));
         }
+        let opts = EngineOptions {
+            workers: self.workers.clone(),
+            batching: driver::Batching(self.batching),
+        };
         match self.protocol {
             Protocol::Hlrc => {
                 let mut p = Hlrc::new().with_homes(self.homes);
-                driver::run_simulation(&mut p, workload, self.nprocs, machine)
+                driver::run_simulation_with(&mut p, workload, self.nprocs, machine, &opts)
             }
             Protocol::Aurc => {
                 let mut p = Hlrc::aurc().with_homes(self.homes);
-                driver::run_simulation(&mut p, workload, self.nprocs, machine)
+                driver::run_simulation_with(&mut p, workload, self.nprocs, machine, &opts)
             }
             Protocol::Sc => {
                 let mut p = Sc::new(self.sc_block).with_homes(self.homes);
-                driver::run_simulation(&mut p, workload, self.nprocs, machine)
+                driver::run_simulation_with(&mut p, workload, self.nprocs, machine, &opts)
             }
             Protocol::ScDelayed => {
                 let mut p = Sc::delayed(self.sc_block).with_homes(self.homes);
-                driver::run_simulation(&mut p, workload, self.nprocs, machine)
+                driver::run_simulation_with(&mut p, workload, self.nprocs, machine, &opts)
             }
             Protocol::Ideal => {
                 let mut p = ssm_proto::Ideal::new();
-                driver::run_simulation(&mut p, workload, self.nprocs, machine)
+                driver::run_simulation_with(&mut p, workload, self.nprocs, machine, &opts)
             }
         }
     }

@@ -26,6 +26,11 @@ pub struct RunResult {
     /// Protocol event trace (empty unless tracing was enabled on the
     /// builder).
     pub trace: Vec<ssm_proto::TraceEvent>,
+    /// OS threads freshly spawned for this run (host-side; zero when the
+    /// run recycled every thread from a shared [`ssm_engine::WorkerSet`]).
+    pub threads_spawned: u64,
+    /// OS threads recycled from a shared worker set for this run.
+    pub threads_reused: u64,
 }
 
 impl RunResult {
@@ -85,6 +90,8 @@ mod tests {
             counters: Counters::default(),
             verify_error: None,
             trace: Vec::new(),
+            threads_spawned: 0,
+            threads_reused: 0,
         }
     }
 

@@ -23,13 +23,28 @@
 //!   synchronization, because real-time concurrency never happens (the
 //!   `ssm-proto` crate relies on this for its shared-memory store).
 //!
+//! Each handoff costs two OS context switches, which dominates host time
+//! for fine-grained programs. Two mitigations live here:
+//!
+//! * **batched handoffs** — [`Yielder::yield_batch`] hands a whole *run* of
+//!   operations to the simulator in one baton exchange ([`Resumed::Batch`]);
+//!   the caller decides which operations may legally be grouped (see
+//!   `ssm-proto`'s batching `Proc` and `ssm-core`'s driver, which replays a
+//!   batch one operation per scheduling step, preserving exact simulated
+//!   order);
+//! * **worker recycling** — threads are leased from a [`WorkerSet`]
+//!   (`ThreadPool::with_workers`), so consecutive simulations reuse parked
+//!   OS threads instead of spawning fresh ones.
+//!
 //! Threads that return normally report [`Resumed::Finished`]; a panic inside
 //! application code is captured and re-thrown in the simulator with the
 //! thread's message, so test failures surface in the right place.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::workers::{Completion, WorkerSet};
 
 /// Identifies a thread within its [`ThreadPool`] (dense, starting at 0).
 ///
@@ -45,6 +60,7 @@ impl std::fmt::Display for ThreadId {
 
 enum Req<R> {
     Op(R),
+    Batch(Vec<R>, u32),
     Finished,
     Panicked(String),
 }
@@ -58,6 +74,10 @@ struct Canceled;
 pub enum Resumed<R> {
     /// The thread yielded a simulated operation and is parked again.
     Op(R),
+    /// The thread yielded a whole run of operations in one handoff and is
+    /// parked again. The `u32` tag is opaque to the engine: the yielding
+    /// layer uses it to record *why* the run ended (sync, miss, cap, …).
+    Batch(Vec<R>, u32),
     /// The thread's closure returned; it must not be resumed again.
     Finished,
 }
@@ -84,7 +104,23 @@ impl<R> Yielder<R> {
     /// Panics (with a silent cancellation payload) if the pool was dropped;
     /// the unwind is caught by the pool's thread wrapper.
     pub fn yield_op(&self, op: R) {
-        if self.req_tx.send((self.tid, Req::Op(op))).is_err() {
+        self.hand_over(Req::Op(op));
+    }
+
+    /// Hands a whole batch of operations (and the baton) to the simulator
+    /// in **one** exchange; returns when the simulator, having processed
+    /// every operation of the batch, resumes this thread. `tag` travels
+    /// with the batch untouched (see [`Resumed::Batch`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`Yielder::yield_op`].
+    pub fn yield_batch(&self, ops: Vec<R>, tag: u32) {
+        self.hand_over(Req::Batch(ops, tag));
+    }
+
+    fn hand_over(&self, req: Req<R>) {
+        if self.req_tx.send((self.tid, req)).is_err() {
             panic::panic_any(Canceled);
         }
         if self.resume_rx.recv().is_err() {
@@ -95,8 +131,42 @@ impl<R> Yielder<R> {
 
 struct Slot {
     resume_tx: Sender<()>,
-    handle: Option<JoinHandle<()>>,
     finished: bool,
+}
+
+/// Tracks how many of this pool's jobs are still running on workers, so
+/// `Drop` can quiesce before the pool's state goes away.
+struct PendingJobs {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl PendingJobs {
+    fn new() -> Arc<Self> {
+        Arc::new(PendingJobs {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
+        })
+    }
+
+    fn inc(&self) {
+        *self.count.lock().expect("pending jobs") += 1;
+    }
+
+    fn dec(&self) {
+        let mut n = self.count.lock().expect("pending jobs");
+        *n -= 1;
+        if *n == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut n = self.count.lock().expect("pending jobs");
+        while *n > 0 {
+            n = self.zero.wait(n).expect("pending jobs");
+        }
+    }
 }
 
 /// Owns the application threads and the baton.
@@ -109,30 +179,44 @@ struct Slot {
 /// let mut pool: ThreadPool<u32> = ThreadPool::new();
 /// let a = pool.spawn(|y| {
 ///     y.yield_op(1);
-///     y.yield_op(2);
+///     y.yield_batch(vec![2, 3], 7);
 /// });
 /// assert_eq!(pool.resume(a), Resumed::Op(1));
-/// assert_eq!(pool.resume(a), Resumed::Op(2));
+/// assert_eq!(pool.resume(a), Resumed::Batch(vec![2, 3], 7));
 /// assert_eq!(pool.resume(a), Resumed::Finished);
 /// ```
 pub struct ThreadPool<R> {
     slots: Vec<Slot>,
     req_rx: Receiver<(ThreadId, Req<R>)>,
     req_tx: Sender<(ThreadId, Req<R>)>,
-    stack_size: usize,
+    workers: WorkerSet,
+    pending: Arc<PendingJobs>,
+    spawned: usize,
+    reused: usize,
 }
 
 impl<R: Send + 'static> ThreadPool<R> {
-    /// Creates an empty pool. Application threads get an 8 MiB stack
-    /// (recursive applications such as Barnes-Hut need more than the
-    /// platform default for spawned threads).
+    /// Creates an empty pool with a private [`WorkerSet`]. Application
+    /// threads get an 8 MiB stack (recursive applications such as
+    /// Barnes-Hut need more than the platform default for spawned
+    /// threads).
     pub fn new() -> Self {
+        Self::with_workers(WorkerSet::new())
+    }
+
+    /// Creates an empty pool that leases its OS threads from `workers`, so
+    /// consecutive pools sharing one set recycle parked threads instead of
+    /// spawning.
+    pub fn with_workers(workers: WorkerSet) -> Self {
         let (req_tx, req_rx) = channel();
         ThreadPool {
             slots: Vec::new(),
             req_rx,
             req_tx,
-            stack_size: 8 << 20,
+            workers,
+            pending: PendingJobs::new(),
+            spawned: 0,
+            reused: 0,
         }
     }
 
@@ -149,36 +233,47 @@ impl<R: Send + 'static> ThreadPool<R> {
             req_tx: self.req_tx.clone(),
         };
         let req_tx = self.req_tx.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("sim-{}", tid.0))
-            .stack_size(self.stack_size)
-            .spawn(move || {
-                // Park until the first resume; a closed channel means the
-                // pool is gone and the thread should just exit.
-                if yielder.resume_rx.recv().is_err() {
-                    return;
-                }
-                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&yielder)));
-                let msg = match result {
-                    Ok(()) => Req::Finished,
-                    Err(payload) => {
-                        if payload.downcast_ref::<Canceled>().is_some() {
-                            return; // silent cancellation; nobody is listening
-                        }
+        let pending = self.pending.clone();
+        pending.inc();
+        let job = Box::new(move || -> Completion {
+            // Park until the first resume; a closed channel means the pool
+            // is gone and the job just retires.
+            if yielder.resume_rx.recv().is_err() {
+                return Box::new(move || pending.dec());
+            }
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(&yielder)));
+            let msg = match result {
+                Ok(()) => Some(Req::Finished),
+                Err(payload) => {
+                    if payload.downcast_ref::<Canceled>().is_some() {
+                        None // silent cancellation; nobody is listening
+                    } else {
                         let text = payload
                             .downcast_ref::<String>()
                             .cloned()
                             .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                             .unwrap_or_else(|| "<non-string panic payload>".to_string());
-                        Req::Panicked(text)
+                        Some(Req::Panicked(text))
                     }
-                };
-                let _ = req_tx.send((yielder.tid, msg));
+                }
+            };
+            let tid = yielder.tid;
+            // The worker runs this *after* re-parking itself, so whoever
+            // receives the message can immediately reuse the worker.
+            Box::new(move || {
+                if let Some(msg) = msg {
+                    let _ = req_tx.send((tid, msg));
+                }
+                pending.dec();
             })
-            .expect("failed to spawn simulated-processor thread");
+        });
+        if self.workers.submit(job) {
+            self.reused += 1;
+        } else {
+            self.spawned += 1;
+        }
         self.slots.push(Slot {
             resume_tx,
-            handle: Some(handle),
             finished: false,
         });
         tid
@@ -199,8 +294,14 @@ impl<R: Send + 'static> ThreadPool<R> {
         self.slots[tid.0].finished
     }
 
+    /// How many of this pool's threads required a fresh OS thread spawn,
+    /// and how many reused a parked worker from the pool's [`WorkerSet`].
+    pub fn thread_stats(&self) -> (usize, usize) {
+        (self.spawned, self.reused)
+    }
+
     /// Hands the baton to thread `tid` and blocks until it yields an
-    /// operation or finishes.
+    /// operation (or a batch) or finishes.
     ///
     /// # Panics
     ///
@@ -220,12 +321,9 @@ impl<R: Send + 'static> ThreadPool<R> {
         debug_assert_eq!(from, tid, "baton protocol violated: wrong thread ran");
         match req {
             Req::Op(op) => Resumed::Op(op),
+            Req::Batch(ops, tag) => Resumed::Batch(ops, tag),
             Req::Finished => {
-                let slot = &mut self.slots[tid.0];
-                slot.finished = true;
-                if let Some(h) = slot.handle.take() {
-                    let _ = h.join();
-                }
+                self.slots[tid.0].finished = true;
                 Resumed::Finished
             }
             Req::Panicked(msg) => panic!("simulated thread {tid} panicked: {msg}"),
@@ -242,18 +340,15 @@ impl<R: Send + 'static> Default for ThreadPool<R> {
 impl<R> Drop for ThreadPool<R> {
     fn drop(&mut self) {
         // Wake every parked thread with a closed channel so it cancels
-        // itself, then join. Threads that already finished were joined in
-        // `resume`.
+        // itself, then wait for all of this pool's jobs to retire — after
+        // that, every leased worker is back on the set's idle list and no
+        // application code from this simulation is still running.
         for slot in &mut self.slots {
             // Dropping the sender closes the channel.
             let (dead_tx, _) = channel();
             slot.resume_tx = dead_tx;
         }
-        for slot in &mut self.slots {
-            if let Some(h) = slot.handle.take() {
-                let _ = h.join();
-            }
-        }
+        self.pending.wait_zero();
     }
 }
 
@@ -265,6 +360,8 @@ impl<R> std::fmt::Debug for ThreadPool<R> {
                 "finished",
                 &self.slots.iter().filter(|s| s.finished).count(),
             )
+            .field("spawned", &self.spawned)
+            .field("reused", &self.reused)
             .finish()
     }
 }
@@ -286,6 +383,20 @@ mod tests {
         }
         assert_eq!(pool.resume(t), Resumed::Finished);
         assert!(pool.is_finished(t));
+    }
+
+    #[test]
+    fn batched_yield_round_trip() {
+        let mut pool: ThreadPool<u32> = ThreadPool::new();
+        let t = pool.spawn(|y| {
+            y.yield_batch(vec![1, 2, 3], 9);
+            y.yield_op(4);
+            y.yield_batch(Vec::new(), 0); // empty batches are legal
+        });
+        assert_eq!(pool.resume(t), Resumed::Batch(vec![1, 2, 3], 9));
+        assert_eq!(pool.resume(t), Resumed::Op(4));
+        assert_eq!(pool.resume(t), Resumed::Batch(Vec::new(), 0));
+        assert_eq!(pool.resume(t), Resumed::Finished);
     }
 
     #[test]
@@ -347,6 +458,43 @@ mod tests {
             }
         }
         assert_eq!(counter.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn pools_sharing_a_worker_set_recycle_threads() {
+        let workers = WorkerSet::new();
+        let run_one = |ws: &WorkerSet| {
+            let mut pool: ThreadPool<u32> = ThreadPool::with_workers(ws.clone());
+            let tids: Vec<ThreadId> = (0..3).map(|i| pool.spawn(move |y| y.yield_op(i))).collect();
+            for &t in &tids {
+                let _ = pool.resume(t);
+                assert_eq!(pool.resume(t), Resumed::Finished);
+            }
+            pool.thread_stats()
+        };
+        assert_eq!(run_one(&workers), (3, 0), "cold set spawns every thread");
+        assert_eq!(run_one(&workers), (0, 3), "warm set spawns none");
+        assert_eq!(run_one(&workers), (0, 3), "and stays warm");
+    }
+
+    #[test]
+    fn canceled_threads_return_to_the_worker_set() {
+        let workers = WorkerSet::new();
+        {
+            let mut pool: ThreadPool<()> = ThreadPool::with_workers(workers.clone());
+            let t = pool.spawn(|y| {
+                y.yield_op(());
+                y.yield_op(());
+            });
+            let _ = pool.resume(t);
+            // Dropped mid-simulation: the parked thread cancels, and the
+            // drop quiesce guarantees its worker re-parked.
+        }
+        let mut pool: ThreadPool<()> = ThreadPool::with_workers(workers);
+        let t = pool.spawn(|y| y.yield_op(()));
+        let _ = pool.resume(t);
+        assert_eq!(pool.resume(t), Resumed::Finished);
+        assert_eq!(pool.thread_stats(), (0, 1), "canceled worker was reused");
     }
 
     #[test]

@@ -8,11 +8,30 @@
 //! `compute` calls are *accumulated* locally and flushed on the next real
 //! operation, so tight loops that interleave arithmetic with shared reads
 //! cost only one baton handover per shared access.
+//!
+//! With a [`crate::HintBoard`] installed ([`Proc::batched`]), the handle
+//! goes further: operations that the hints predict will complete locally —
+//! `Compute` blocks, reads/writes of pages whose last access sent no
+//! messages, and lock releases — are *buffered* and handed to the
+//! simulator as one batch ([`ssm_engine::Yielder::yield_batch`]). The
+//! driver replays the batch one operation per scheduling step, in issue
+//! order, so simulated results are byte-identical to the unbatched run
+//! (see `hint.rs` for why hint accuracy cannot affect results). A batch
+//! is flushed — one baton handoff — when:
+//!
+//! * a **sync** operation is issued (`Lock`, `Barrier`): the thread must
+//!   block until the simulator grants it ([`FLUSH_SYNC`]);
+//! * a read/write **misses** in the hints: the thread blocks so the hint
+//!   is fresh when it resumes ([`FLUSH_MISS`]);
+//! * the batch reaches [`BATCH_CAP`] operations ([`FLUSH_CAP`]);
+//! * the thread body returns ([`FLUSH_END`]).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
 
 use ssm_engine::Yielder;
 
+use crate::hint::HintBoard;
 use crate::shmem::{BarrierId, LockId};
 
 /// An operation yielded by an application thread to the simulator.
@@ -32,23 +51,61 @@ pub enum Op {
     Barrier(BarrierId),
 }
 
+/// Most operations a batch may hold before it is handed over anyway —
+/// bounds both the driver's queue memory and how far a thread can run
+/// ahead of simulated time.
+pub const BATCH_CAP: usize = 256;
+
+/// Batch-flush cause: a sync operation (`Lock`/`Barrier`) ended the run.
+pub const FLUSH_SYNC: u32 = 0;
+/// Batch-flush cause: a read/write missed in the locality hints.
+pub const FLUSH_MISS: u32 = 1;
+/// Batch-flush cause: the batch reached [`BATCH_CAP`] operations.
+pub const FLUSH_CAP: u32 = 2;
+/// Batch-flush cause: the thread body returned.
+pub const FLUSH_END: u32 = 3;
+
+/// Batching state, present only when the driver installs a hint board.
+struct BatchState {
+    ops: RefCell<Vec<Op>>,
+    board: Arc<HintBoard>,
+}
+
 /// The per-processor handle passed to application code.
 pub struct Proc<'a> {
     y: &'a Yielder<Op>,
     pid: usize,
     nprocs: usize,
     pending: Cell<u64>,
+    batch: Option<BatchState>,
 }
 
 impl<'a> Proc<'a> {
     /// Wraps a yielder; used by the simulation driver when spawning
-    /// application threads.
+    /// application threads. Every operation is one baton handoff.
     pub fn new(y: &'a Yielder<Op>, pid: usize, nprocs: usize) -> Self {
         Proc {
             y,
             pid,
             nprocs,
             pending: Cell::new(0),
+            batch: None,
+        }
+    }
+
+    /// Like [`Proc::new`], but accumulates hint-predicted-local operations
+    /// into batches (see module docs). Simulated results are identical;
+    /// only the number of baton handoffs changes.
+    pub fn batched(y: &'a Yielder<Op>, pid: usize, nprocs: usize, board: Arc<HintBoard>) -> Self {
+        Proc {
+            y,
+            pid,
+            nprocs,
+            pending: Cell::new(0),
+            batch: Some(BatchState {
+                ops: RefCell::new(Vec::new()),
+                board,
+            }),
         }
     }
 
@@ -68,42 +125,105 @@ impl<'a> Proc<'a> {
     }
 
     /// Flushes deferred computation; called automatically before any other
-    /// operation and by the driver when the thread body returns.
+    /// operation and by the driver when the thread body returns. In
+    /// batching mode the `Compute` op joins the current batch instead of
+    /// forcing a handoff.
     pub fn flush(&self) {
         let c = self.pending.replace(0);
         if c > 0 {
-            self.y.yield_op(Op::Compute(c));
+            match &self.batch {
+                None => self.y.yield_op(Op::Compute(c)),
+                Some(b) => self.buffer(b, Op::Compute(c)),
+            }
         }
+    }
+
+    /// Buffers `op` into the current batch, handing it over if the cap is
+    /// reached.
+    fn buffer(&self, b: &BatchState, op: Op) {
+        let mut ops = b.ops.borrow_mut();
+        ops.push(op);
+        if ops.len() >= BATCH_CAP {
+            let batch = std::mem::take(&mut *ops);
+            drop(ops);
+            self.y.yield_batch(batch, FLUSH_CAP);
+        }
+    }
+
+    /// Buffers `op` as the *last* operation of the current batch and hands
+    /// the whole run over; the thread blocks until the simulator has
+    /// replayed every buffered operation.
+    fn seal(&self, b: &BatchState, op: Op, cause: u32) {
+        let mut batch = std::mem::take(&mut *b.ops.borrow_mut());
+        batch.push(op);
+        self.y.yield_batch(batch, cause);
     }
 
     /// Simulated shared-memory read of `[addr, addr+bytes)`.
     pub fn touch_read(&self, addr: u64, bytes: u64) {
         self.flush();
-        self.y.yield_op(Op::Read { addr, bytes });
+        let op = Op::Read { addr, bytes };
+        match &self.batch {
+            None => self.y.yield_op(op),
+            Some(b) if b.board.predicts_read_hit(self.pid, addr, bytes) => self.buffer(b, op),
+            Some(b) => self.seal(b, op, FLUSH_MISS),
+        }
     }
 
     /// Simulated shared-memory write of `[addr, addr+bytes)`.
     pub fn touch_write(&self, addr: u64, bytes: u64) {
         self.flush();
-        self.y.yield_op(Op::Write { addr, bytes });
+        let op = Op::Write { addr, bytes };
+        match &self.batch {
+            None => self.y.yield_op(op),
+            Some(b) if b.board.predicts_write_hit(self.pid, addr, bytes) => self.buffer(b, op),
+            Some(b) => self.seal(b, op, FLUSH_MISS),
+        }
     }
 
     /// Acquires `lock` (blocks in simulated time until granted).
     pub fn lock(&self, lock: LockId) {
         self.flush();
-        self.y.yield_op(Op::Lock(lock));
+        let op = Op::Lock(lock);
+        match &self.batch {
+            None => self.y.yield_op(op),
+            Some(b) => self.seal(b, op, FLUSH_SYNC),
+        }
     }
 
-    /// Releases `lock`.
+    /// Releases `lock`. Non-blocking, so in batching mode it joins the
+    /// batch: the driver still replays it in issue order, before any
+    /// waiter is granted the lock.
     pub fn unlock(&self, lock: LockId) {
         self.flush();
-        self.y.yield_op(Op::Unlock(lock));
+        let op = Op::Unlock(lock);
+        match &self.batch {
+            None => self.y.yield_op(op),
+            Some(b) => self.buffer(b, op),
+        }
     }
 
     /// Enters `barrier`; returns when all processors have arrived.
     pub fn barrier(&self, barrier: BarrierId) {
         self.flush();
-        self.y.yield_op(Op::Barrier(barrier));
+        let op = Op::Barrier(barrier);
+        match &self.batch {
+            None => self.y.yield_op(op),
+            Some(b) => self.seal(b, op, FLUSH_SYNC),
+        }
+    }
+
+    /// Hands over whatever remains buffered; called by the driver when the
+    /// thread body returns. (Equivalent to [`Proc::flush`] when batching
+    /// is off.)
+    pub fn finish(&self) {
+        self.flush();
+        if let Some(b) = &self.batch {
+            let batch = std::mem::take(&mut *b.ops.borrow_mut());
+            if !batch.is_empty() {
+                self.y.yield_batch(batch, FLUSH_END);
+            }
+        }
     }
 
     /// Convenience: run `f` under `lock`.
@@ -172,6 +292,114 @@ mod tests {
             p.touch_write(8, 8);
         });
         assert_eq!(pool.resume(t), Resumed::Op(Op::Write { addr: 8, bytes: 8 }));
+        assert_eq!(pool.resume(t), Resumed::Finished);
+    }
+
+    #[test]
+    fn batched_proc_accumulates_predicted_hits() {
+        let board = Arc::new(HintBoard::new(1));
+        board.observe_local(0, 0, crate::PAGE_SIZE, true); // page 0: read+write local
+        let b = board.clone();
+        let mut pool: ThreadPool<Op> = ThreadPool::new();
+        let t = pool.spawn(move |y| {
+            let p = Proc::batched(y, 0, 1, b);
+            p.compute(10);
+            p.touch_read(0, 4); // hit: buffered
+            p.touch_write(8, 4); // hit: buffered
+            p.touch_read(8192, 4); // page 2: no hint -> MISS seals the batch
+            p.finish();
+        });
+        assert_eq!(
+            pool.resume(t),
+            Resumed::Batch(
+                vec![
+                    Op::Compute(10),
+                    Op::Read { addr: 0, bytes: 4 },
+                    Op::Write { addr: 8, bytes: 4 },
+                    Op::Read {
+                        addr: 8192,
+                        bytes: 4
+                    },
+                ],
+                FLUSH_MISS
+            )
+        );
+        assert_eq!(pool.resume(t), Resumed::Finished);
+    }
+
+    #[test]
+    fn sync_ops_seal_and_unlock_batches() {
+        let board = Arc::new(HintBoard::new(1));
+        let b = board.clone();
+        let mut pool: ThreadPool<Op> = ThreadPool::new();
+        let t = pool.spawn(move |y| {
+            let p = Proc::batched(y, 0, 1, b);
+            p.compute(5);
+            p.lock(LockId(1)); // sync: seals [Compute, Lock]
+            p.compute(7);
+            p.unlock(LockId(1)); // non-blocking: buffered
+            p.barrier(BarrierId(0)); // sync: seals [Compute, Unlock, Barrier]
+            p.compute(1);
+            p.finish(); // END flush of the tail
+        });
+        assert_eq!(
+            pool.resume(t),
+            Resumed::Batch(vec![Op::Compute(5), Op::Lock(LockId(1))], FLUSH_SYNC)
+        );
+        assert_eq!(
+            pool.resume(t),
+            Resumed::Batch(
+                vec![
+                    Op::Compute(7),
+                    Op::Unlock(LockId(1)),
+                    Op::Barrier(BarrierId(0)),
+                ],
+                FLUSH_SYNC
+            )
+        );
+        assert_eq!(
+            pool.resume(t),
+            Resumed::Batch(vec![Op::Compute(1)], FLUSH_END)
+        );
+        assert_eq!(pool.resume(t), Resumed::Finished);
+    }
+
+    #[test]
+    fn cap_flushes_long_runs() {
+        let board = Arc::new(HintBoard::new(1));
+        board.observe_local(0, 0, crate::PAGE_SIZE, false);
+        let b = board.clone();
+        let mut pool: ThreadPool<Op> = ThreadPool::new();
+        let t = pool.spawn(move |y| {
+            let p = Proc::batched(y, 0, 1, b);
+            for _ in 0..BATCH_CAP + 1 {
+                p.touch_read(0, 4);
+            }
+            p.finish();
+        });
+        match pool.resume(t) {
+            Resumed::Batch(ops, cause) => {
+                assert_eq!(ops.len(), BATCH_CAP);
+                assert_eq!(cause, FLUSH_CAP);
+            }
+            other => panic!("expected CAP batch, got {other:?}"),
+        }
+        assert_eq!(
+            pool.resume(t),
+            Resumed::Batch(vec![Op::Read { addr: 0, bytes: 4 }], FLUSH_END)
+        );
+        assert_eq!(pool.resume(t), Resumed::Finished);
+    }
+
+    #[test]
+    fn empty_finish_yields_nothing() {
+        let board = Arc::new(HintBoard::new(1));
+        let b = board.clone();
+        let mut pool: ThreadPool<Op> = ThreadPool::new();
+        let t = pool.spawn(move |y| {
+            let p = Proc::batched(y, 0, 1, b);
+            p.finish();
+        });
         assert_eq!(pool.resume(t), Resumed::Finished);
     }
 }

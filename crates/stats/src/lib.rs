@@ -249,6 +249,26 @@ pub struct Counters {
     pub faults_delayed: u64,
     /// Injected faults observed on this node's sends: transient NI stalls.
     pub faults_stalled: u64,
+    /// Baton handoffs: engine-thread resumes performed by the driver. Each
+    /// one costs two host OS context switches, making this the primary
+    /// host-side cost metric (deterministic, unlike wall clock).
+    pub handoffs: u64,
+    /// Simulated operations processed by the driver (compute blocks,
+    /// shared accesses, sync operations).
+    pub sim_ops: u64,
+    /// Operations that arrived inside a batched handoff (0 with batching
+    /// disabled; with batching on, `ops_batched / sim_ops` is the
+    /// batched-op ratio).
+    pub ops_batched: u64,
+    /// Batch flushes forced by a synchronization operation (lock/barrier).
+    pub flush_sync: u64,
+    /// Batch flushes forced by a predicted remote miss or invalidated
+    /// locality hint.
+    pub flush_miss: u64,
+    /// Batch flushes forced by the batch-length cap.
+    pub flush_cap: u64,
+    /// Batch flushes at the end of a thread body.
+    pub flush_end: u64,
 }
 
 impl Counters {
@@ -275,6 +295,36 @@ impl Counters {
             faults_duplicated: self.faults_duplicated + o.faults_duplicated,
             faults_delayed: self.faults_delayed + o.faults_delayed,
             faults_stalled: self.faults_stalled + o.faults_stalled,
+            handoffs: self.handoffs + o.handoffs,
+            sim_ops: self.sim_ops + o.sim_ops,
+            ops_batched: self.ops_batched + o.ops_batched,
+            flush_sync: self.flush_sync + o.flush_sync,
+            flush_miss: self.flush_miss + o.flush_miss,
+            flush_cap: self.flush_cap + o.flush_cap,
+            flush_end: self.flush_end + o.flush_end,
+        }
+    }
+
+    /// Total batch flushes, by any cause.
+    pub fn flushes(&self) -> u64 {
+        self.flush_sync + self.flush_miss + self.flush_cap + self.flush_end
+    }
+
+    /// A copy with the engine-performance counters (handoffs, batching,
+    /// flush causes) zeroed — the simulated-machine counters alone. Used
+    /// when comparing runs that must agree on protocol behaviour but may
+    /// legitimately differ in host-side engine scheduling (e.g. batching
+    /// enabled vs disabled).
+    pub fn without_engine_counters(&self) -> Counters {
+        Counters {
+            handoffs: 0,
+            sim_ops: 0,
+            ops_batched: 0,
+            flush_sync: 0,
+            flush_miss: 0,
+            flush_cap: 0,
+            flush_end: 0,
+            ..*self
         }
     }
 

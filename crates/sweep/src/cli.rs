@@ -7,6 +7,9 @@
 //! * `--app NAME` — restrict to applications whose name contains `NAME`;
 //! * `--jobs N` — host worker threads (default: available parallelism);
 //! * `--no-cache` — ignore and don't write `results/sweep_cache.jsonl`;
+//! * `--no-batching` — one baton handoff per simulated operation (the
+//!   pre-batching engine behavior; results are byte-identical, only the
+//!   host-side handoff counters and wall time change);
 //! * `--timeout SECS` — per-cell wall-time limit (default: none);
 //! * `--retries N` — rerun panicked/timed-out cells up to N extra times
 //!   (default 0);
@@ -53,6 +56,8 @@ pub struct SweepCli {
     pub jobs: usize,
     /// Skip the on-disk cache.
     pub no_cache: bool,
+    /// Disable batched baton handoffs (diagnostic; results identical).
+    pub no_batching: bool,
     /// Per-cell wall-time limit, seconds.
     pub timeout_secs: Option<u64>,
     /// Extra attempts for panicked/timed-out cells.
@@ -79,6 +84,7 @@ impl Default for SweepCli {
             filter: String::new(),
             jobs: std::thread::available_parallelism().map_or(1, usize::from),
             no_cache: false,
+            no_batching: false,
             timeout_secs: None,
             retries: 0,
             results_dir: PathBuf::from("results"),
@@ -98,7 +104,7 @@ impl SweepCli {
     pub fn parse() -> Self {
         Self::parse_with(|flag, _| {
             die(&format!(
-                "unknown flag {flag}; use --procs/--scale/--app/--jobs/--no-cache/--timeout/--retries/--results/--quiet/--shards/--shard/--worker/--shard-retries"
+                "unknown flag {flag}; use --procs/--scale/--app/--jobs/--no-cache/--no-batching/--timeout/--retries/--results/--quiet/--shards/--shard/--worker/--shard-retries"
             ))
         })
     }
@@ -136,6 +142,7 @@ impl SweepCli {
                         .unwrap_or_else(|| die("--jobs needs a positive number"));
                 }
                 "--no-cache" => cli.no_cache = true,
+                "--no-batching" => cli.no_batching = true,
                 "--timeout" => {
                     cli.timeout_secs = Some(
                         args.next()
@@ -222,6 +229,7 @@ impl SweepCli {
             retries: self.retries,
             progress: !self.quiet,
             summary: true,
+            batching: !self.no_batching,
         }
     }
 
@@ -271,5 +279,8 @@ mod tests {
         assert_eq!(opts.timeout, Some(Duration::from_secs(7)));
         assert_eq!(opts.retries, 2);
         assert!(!opts.progress);
+        assert!(opts.batching, "batching defaults on");
+        cli.no_batching = true;
+        assert!(!cli.sweep_opts().batching);
     }
 }

@@ -101,7 +101,7 @@ fn missing_in(dir: &Path, owned: &[(usize, String)]) -> Vec<String> {
     match ResultStore::open(dir) {
         Ok(store) => owned
             .iter()
-            .filter(|(_, h)| store.get(h).is_none())
+            .filter(|(_, h)| !store.contains(h))
             .map(|(_, h)| h.clone())
             .collect(),
         Err(_) => owned.iter().map(|(_, h)| h.clone()).collect(),
@@ -129,10 +129,7 @@ pub(crate) fn run_coordinator(
             opts.results_dir.display()
         )),
     };
-    let pre_hits: Vec<bool> = unique
-        .iter()
-        .map(|(_, h)| main_store.get(h).is_some())
-        .collect();
+    let pre_hits: Vec<bool> = unique.iter().map(|(_, h)| main_store.contains(h)).collect();
 
     // Partition the unique cells; `owned[s]` lists (slot, hash) per shard.
     let specs: Vec<ShardSpec> = (0..shards)
@@ -155,9 +152,9 @@ pub(crate) fn run_coordinator(
             Err(e) => fatal(&format!("cannot open shard cache {}: {e}", dir.display())),
         };
         for (_, hash) in &owned[spec.index] {
-            if store.get(hash).is_none() {
+            if !store.contains(hash) {
                 if let Some(rec) = main_store.get(hash) {
-                    if let Err(e) = store.append(rec.clone()) {
+                    if let Err(e) = store.append(rec) {
                         fatal(&format!("cannot seed shard cache {}: {e}", dir.display()));
                     }
                 }
@@ -316,7 +313,10 @@ pub(crate) fn run_coordinator(
         .enumerate()
         .map(|(i, (cell, hash))| {
             let (status, attempts) = match merged.get(hash) {
-                Some(rec) => (CellStatus::Done(rec.clone()), rec.attempts),
+                Some(rec) => {
+                    let attempts = rec.attempts;
+                    (CellStatus::Done(rec), attempts)
+                }
                 None => {
                     failed += 1;
                     match failures.get(hash) {

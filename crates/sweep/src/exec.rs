@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use ssm_apps::catalog;
 use ssm_core::{FaultSpec, Protocol, SimBuilder};
+use ssm_engine::{WorkerSet, WORKER_THREAD_PREFIX};
 
 use crate::cell::Cell;
 use crate::json::Json;
@@ -86,6 +87,10 @@ pub struct SweepOpts {
     pub progress: bool,
     /// Write `bench_summary.json` after the sweep.
     pub summary: bool,
+    /// Batched baton handoffs inside each simulation (default on;
+    /// simulated results are byte-identical either way — see
+    /// `ssm-core::driver`).
+    pub batching: bool,
 }
 
 impl Default for SweepOpts {
@@ -98,6 +103,7 @@ impl Default for SweepOpts {
             retries: 0,
             progress: true,
             summary: true,
+            batching: true,
         }
     }
 }
@@ -201,6 +207,24 @@ impl SweepRun {
                                     .collect(),
                             ),
                         ));
+                        let c = &rec.counters;
+                        fields.push((
+                            "engine".to_string(),
+                            Json::Obj(vec![
+                                ("handoffs".to_string(), Json::Int(c.handoffs)),
+                                ("sim_ops".to_string(), Json::Int(c.sim_ops)),
+                                ("ops_batched".to_string(), Json::Int(c.ops_batched)),
+                                ("flush_sync".to_string(), Json::Int(c.flush_sync)),
+                                ("flush_miss".to_string(), Json::Int(c.flush_miss)),
+                                ("flush_cap".to_string(), Json::Int(c.flush_cap)),
+                                ("flush_end".to_string(), Json::Int(c.flush_end)),
+                                (
+                                    "threads_spawned".to_string(),
+                                    Json::Int(rec.threads_spawned),
+                                ),
+                                ("threads_reused".to_string(), Json::Int(rec.threads_reused)),
+                            ]),
+                        ));
                     }
                     CellStatus::Failed(e) => {
                         fields.push(("status".to_string(), Json::Str("failed".to_string())));
@@ -243,6 +267,17 @@ impl SweepRun {
 /// Builds and runs the simulation for one cell. Panics propagate to the
 /// caller (the executor turns them into failed cells).
 pub fn execute(cell: &Cell) -> Result<CellRecord, String> {
+    execute_with(cell, None, true)
+}
+
+/// [`execute`] with the sweep's engine knobs: an optional shared
+/// [`WorkerSet`] to recycle OS threads across cells, and the batching
+/// toggle. Neither affects simulated results.
+pub fn execute_with(
+    cell: &Cell,
+    workers: Option<&WorkerSet>,
+    batching: bool,
+) -> Result<CellRecord, String> {
     let spec =
         catalog::by_name(&cell.app).ok_or_else(|| format!("unknown application {:?}", cell.app))?;
     let started = Instant::now();
@@ -250,7 +285,11 @@ pub fn execute(cell: &Cell) -> Result<CellRecord, String> {
     let mut builder = SimBuilder::new(cell.protocol)
         .procs(cell.procs)
         .sc_block(cell.sc_block.unwrap_or(spec.sc_block))
-        .home_policy(cell.homes);
+        .home_policy(cell.homes)
+        .batching(batching);
+    if let Some(ws) = workers {
+        builder = builder.workers(ws.clone());
+    }
     if cell.protocol != Protocol::Ideal {
         builder = builder.comm(cell.comm.params()).proto(cell.proto.costs());
     }
@@ -268,22 +307,20 @@ pub fn execute(cell: &Cell) -> Result<CellRecord, String> {
 /// Number of sweep cells currently in flight (used by the panic filter).
 static ACTIVE_CELLS: AtomicUsize = AtomicUsize::new(0);
 
-/// Thread-name prefix for the per-cell simulation threads.
-const CELL_THREAD_PREFIX: &str = "ssm-sweep-cell";
-
 /// Installs (once per process) a panic hook that suppresses the default
-/// backtrace spew for panics on sweep-owned threads: the per-cell thread
-/// itself and the engine's `sim-N` application threads while cells are in
-/// flight. The panic still unwinds and is reported as a failed cell; every
-/// other thread keeps the previous hook's behavior.
+/// backtrace spew for panics on sweep-owned threads — the pooled
+/// `ssm-worker-N` threads that run both the per-cell guard jobs and the
+/// engine's application threads — while cells are in flight. The panic
+/// still unwinds and is reported as a failed cell; every other thread
+/// keeps the previous hook's behavior.
 fn install_panic_filter() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             let name = std::thread::current().name().unwrap_or("").to_string();
-            let owned = name.starts_with(CELL_THREAD_PREFIX)
-                || (name.starts_with("sim-") && ACTIVE_CELLS.load(Ordering::SeqCst) > 0);
+            let owned =
+                name.starts_with(WORKER_THREAD_PREFIX) && ACTIVE_CELLS.load(Ordering::SeqCst) > 0;
             if !owned {
                 previous(info);
             }
@@ -301,85 +338,87 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs one cell on a dedicated, named thread, enforcing the wall-time
+/// Runs one cell on a leased worker thread, enforcing the wall-time
 /// limit. Returns the status (never panics).
-fn execute_with_limits(cell: &Cell, idx: usize, timeout: Option<Duration>) -> CellStatus {
+fn execute_with_limits(cell: &Cell, workers: &WorkerSet, opts: &SweepOpts) -> CellStatus {
     let c = cell.clone();
-    run_guarded(idx, timeout, move || execute(&c))
+    let ws = workers.clone();
+    let batching = opts.batching;
+    run_guarded(workers, opts.timeout, move || {
+        execute_with(&c, Some(&ws), batching)
+    })
 }
 
 /// Runs one cell, re-running a panicked or timed-out attempt up to
 /// `retries` extra times. Returns the final status, the number of attempts
-/// made, and how many timed-out attempts left a detached simulation thread
-/// behind (each timeout abandons its thread whether or not a retry
-/// follows).
+/// made, and how many timed-out attempts left a detached simulation behind
+/// (each timeout abandons its busy worker whether or not a retry follows).
 fn execute_with_retries(
     cell: &Cell,
-    idx: usize,
-    timeout: Option<Duration>,
-    retries: u32,
+    workers: &WorkerSet,
+    opts: &SweepOpts,
 ) -> (CellStatus, u64, usize) {
     let mut attempts = 0u64;
     let mut abandoned = 0usize;
     loop {
         attempts += 1;
-        let status = execute_with_limits(cell, idx, timeout);
+        let status = execute_with_limits(cell, workers, opts);
         if matches!(status, CellStatus::TimedOut(_)) {
             abandoned += 1;
         }
-        if matches!(status, CellStatus::Done(_)) || attempts > retries as u64 {
+        if matches!(status, CellStatus::Done(_)) || attempts > opts.retries as u64 {
             return (status, attempts, abandoned);
         }
     }
 }
 
-/// The guard around one cell execution: a fresh named thread, panic
+/// The guard around one cell execution: a leased worker thread, panic
 /// capture, and the wall-time limit. Split from [`execute_with_limits`] so
 /// the guard itself is testable with arbitrary workloads.
+///
+/// The result is delivered by the worker's *completion* closure, which
+/// runs only after the worker has re-registered itself as idle — so by
+/// the time this returns, the guard's worker (and, once the simulation's
+/// own `ThreadPool` has dropped, its application workers) are parked and
+/// ready for the next cell. That ordering is what makes "zero fresh
+/// spawns on the second cell" deterministic.
 fn run_guarded(
-    idx: usize,
+    workers: &WorkerSet,
     timeout: Option<Duration>,
     work: impl FnOnce() -> Result<CellRecord, String> + Send + 'static,
 ) -> CellStatus {
     let (tx, rx) = channel();
     ACTIVE_CELLS.fetch_add(1, Ordering::SeqCst);
-    let spawned = std::thread::Builder::new()
-        .name(format!("{CELL_THREAD_PREFIX}-{idx}"))
-        .spawn(move || {
-            let out = catch_unwind(AssertUnwindSafe(work));
+    workers.submit(Box::new(move || {
+        let out = match catch_unwind(AssertUnwindSafe(work)) {
+            Ok(r) => r,
+            Err(payload) => Err(panic_message(payload)),
+        };
+        Box::new(move || {
             let _ = tx.send(out);
-        });
-    let handle = match spawned {
-        Ok(h) => h,
-        Err(e) => {
-            ACTIVE_CELLS.fetch_sub(1, Ordering::SeqCst);
-            return CellStatus::Failed(format!("spawn failed: {e}"));
-        }
-    };
+        })
+    }));
     let received = match timeout {
         Some(t) => rx.recv_timeout(t),
         None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
     };
     let status = match received {
-        Ok(Ok(Ok(rec))) => CellStatus::Done(rec),
-        Ok(Ok(Err(e))) => CellStatus::Failed(e),
-        Ok(Err(payload)) => CellStatus::Failed(panic_message(payload)),
+        Ok(Ok(rec)) => CellStatus::Done(rec),
+        Ok(Err(e)) => CellStatus::Failed(e),
         Err(RecvTimeoutError::Timeout) => {
-            // Abandon the simulation thread; its send lands on a dropped
-            // receiver. ACTIVE_CELLS stays decremented here because the
-            // worker moves on — a late panic on the zombie's sim-threads
-            // may print, which is acceptable for an already-reported cell.
+            // Abandon the attempt: its completion will land on a dropped
+            // receiver, and its worker stays busy (unavailable for lease)
+            // until the simulation finishes. A late panic on the zombie's
+            // threads may print, which is acceptable for an
+            // already-reported cell.
             drop(rx);
-            return {
-                ACTIVE_CELLS.fetch_sub(1, Ordering::SeqCst);
-                CellStatus::TimedOut(timeout.expect("timeout fired"))
-            };
+            ACTIVE_CELLS.fetch_sub(1, Ordering::SeqCst);
+            return CellStatus::TimedOut(timeout.expect("timeout fired"));
         }
         Err(RecvTimeoutError::Disconnected) => {
-            CellStatus::Failed("cell thread vanished without a result".to_string())
+            CellStatus::Failed("cell worker vanished without a result".to_string())
         }
     };
-    let _ = handle.join();
     ACTIVE_CELLS.fetch_sub(1, Ordering::SeqCst);
     status
 }
@@ -484,7 +523,7 @@ pub(crate) fn run_local(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
     for (i, (_, hash)) in unique.iter().enumerate() {
         if let Some(rec) = store.as_ref().and_then(|s| s.get(hash)) {
             let attempts = rec.attempts;
-            statuses[i] = Some((CellStatus::Done(rec.clone()), attempts));
+            statuses[i] = Some((CellStatus::Done(rec), attempts));
             cached_flags[i] = true;
             cached += 1;
         } else {
@@ -535,6 +574,12 @@ pub(crate) fn run_local(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
     let deques_ref = &deques;
     let shared = &shared_results;
 
+    // One worker set per sweep: both the per-cell guard jobs and every
+    // simulation's application threads lease OS threads from it, so cell
+    // N+1 recycles cell N's threads instead of spawning.
+    let workers = WorkerSet::new();
+    let workers_ref = &workers;
+
     std::thread::scope(|scope| {
         for w in 0..jobs {
             scope.spawn(move || loop {
@@ -549,7 +594,7 @@ pub(crate) fn run_local(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
                 let Some(i) = next else { break };
                 let (cell, _) = &unique_ref[i];
                 let (mut status, attempts, abandoned) =
-                    execute_with_retries(cell, i, opts.timeout, opts.retries);
+                    execute_with_retries(cell, workers_ref, opts);
                 if let CellStatus::Done(rec) = &mut status {
                     rec.attempts = attempts;
                 }
@@ -647,14 +692,28 @@ mod tests {
             verify_error: None,
             host_ms: 0,
             attempts: 1,
+            threads_spawned: 0,
+            threads_reused: 0,
+        }
+    }
+
+    fn opts_with(timeout: Option<Duration>, retries: u32) -> SweepOpts {
+        SweepOpts {
+            timeout,
+            retries,
+            cache: false,
+            progress: false,
+            summary: false,
+            ..SweepOpts::default()
         }
     }
 
     #[test]
     fn guard_passes_results_through() {
+        let workers = WorkerSet::new();
         let rec = dummy_record();
         let want = rec.clone();
-        match run_guarded(900, None, move || Ok(rec)) {
+        match run_guarded(&workers, None, move || Ok(rec)) {
             CellStatus::Done(got) => assert_eq!(got, want),
             other => panic!("expected Done, got {other:?}"),
         }
@@ -663,12 +722,14 @@ mod tests {
     #[test]
     fn guard_captures_panics_as_failed_cells() {
         install_panic_filter(); // keep the test log free of backtrace spew
-        match run_guarded(901, None, || panic!("cell exploded: {}", 7)) {
+        let workers = WorkerSet::new();
+        match run_guarded(&workers, None, || panic!("cell exploded: {}", 7)) {
             CellStatus::Failed(msg) => assert!(msg.contains("cell exploded: 7"), "{msg}"),
             other => panic!("expected Failed, got {other:?}"),
         }
-        // The guard's own thread died; the caller keeps going.
-        match run_guarded(902, None, || Err("soft failure".to_string())) {
+        // The panic unwound through the leased worker; the set hands out a
+        // fresh one and the caller keeps going.
+        match run_guarded(&workers, None, || Err("soft failure".to_string())) {
             CellStatus::Failed(msg) => assert_eq!(msg, "soft failure"),
             other => panic!("expected Failed, got {other:?}"),
         }
@@ -676,8 +737,9 @@ mod tests {
 
     #[test]
     fn guard_enforces_wall_time_limit() {
+        let workers = WorkerSet::new();
         let limit = Duration::from_millis(20);
-        let status = run_guarded(903, Some(limit), move || {
+        let status = run_guarded(&workers, Some(limit), move || {
             // Far beyond the limit; the guard abandons this thread.
             std::thread::sleep(Duration::from_secs(5));
             Ok(dummy_record())
@@ -688,6 +750,7 @@ mod tests {
     #[test]
     fn retries_rerun_failed_cells_and_count_attempts() {
         install_panic_filter();
+        let workers = WorkerSet::new();
         // An unknown app fails deterministically on every attempt: with 2
         // retries the executor makes 3 attempts, then gives up.
         let cell = Cell::new(
@@ -697,14 +760,16 @@ mod tests {
             2,
             Scale::Test,
         );
-        let (status, attempts, abandoned) = execute_with_retries(&cell, 904, None, 2);
+        let (status, attempts, abandoned) =
+            execute_with_retries(&cell, &workers, &opts_with(None, 2));
         assert!(matches!(status, CellStatus::Failed(_)), "{status:?}");
         assert_eq!(attempts, 3);
         assert_eq!(abandoned, 0, "failures abandon no threads");
         // A healthy cell succeeds on the first attempt regardless of the
         // retry budget.
         let ok = Cell::new("FFT", Protocol::Hlrc, LayerConfig::base(), 2, Scale::Test);
-        let (status, attempts, abandoned) = execute_with_retries(&ok, 905, None, 2);
+        let (status, attempts, abandoned) =
+            execute_with_retries(&ok, &workers, &opts_with(None, 2));
         assert!(matches!(status, CellStatus::Done(_)), "{status:?}");
         assert_eq!((attempts, abandoned), (1, 0));
     }
@@ -713,9 +778,11 @@ mod tests {
     fn timed_out_attempts_count_abandoned_threads() {
         // Each timed-out attempt detaches its simulation thread; the
         // retry loop must count every one of them.
+        let workers = WorkerSet::new();
         let cell = Cell::new("FFT", Protocol::Hlrc, LayerConfig::base(), 2, Scale::Test);
         let timeout = Some(Duration::from_nanos(1));
-        let (status, attempts, abandoned) = execute_with_retries(&cell, 906, timeout, 1);
+        let (status, attempts, abandoned) =
+            execute_with_retries(&cell, &workers, &opts_with(timeout, 1));
         if matches!(status, CellStatus::TimedOut(_)) {
             assert_eq!(attempts, 2);
             assert_eq!(abandoned, 2);

@@ -57,7 +57,7 @@ pub use cell::{scale_from_label, scale_label, Cell, CommSpec};
 pub use cli::SweepCli;
 #[allow(deprecated)]
 pub use exec::run_sweep;
-pub use exec::{execute, CellOutcome, CellStatus, SweepOpts, SweepRun};
+pub use exec::{execute, execute_with, CellOutcome, CellStatus, SweepOpts, SweepRun};
 pub use json::Json;
 pub use merge::{merge_caches, MergeError, MergeOutcome};
 pub use record::{CellRecord, SCHEMA_VERSION};

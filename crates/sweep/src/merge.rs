@@ -214,6 +214,8 @@ mod tests {
             verify_error: None,
             host_ms,
             attempts: 1,
+            threads_spawned: 0,
+            threads_reused: 0,
         }
     }
 

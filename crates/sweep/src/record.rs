@@ -39,6 +39,13 @@ pub struct CellRecord {
     /// How many execution attempts this result took (1 = first try; >1
     /// means `--retries` re-ran the cell after a panic or timeout).
     pub attempts: u64,
+    /// OS threads freshly spawned for this cell (host-side, depends on
+    /// worker-pool warmth — zeroed in [`CellRecord::canonical`] like
+    /// `host_ms`).
+    pub threads_spawned: u64,
+    /// OS threads recycled from the sweep's worker pool for this cell
+    /// (host-side, zeroed in canonical form).
+    pub threads_reused: u64,
 }
 
 impl CellRecord {
@@ -65,15 +72,20 @@ impl CellRecord {
             verify_error: r.verify_error.clone(),
             host_ms,
             attempts: 1,
+            threads_spawned: r.threads_spawned,
+            threads_reused: r.threads_reused,
         }
     }
 
-    /// A copy with the one nondeterministic field (`host_ms`) zeroed — the
-    /// form the shard merge writes, so merged caches come out
-    /// byte-identical across reruns and shard counts.
+    /// A copy with the nondeterministic fields (`host_ms` and the
+    /// pool-warmth-dependent thread stats) zeroed — the form the shard
+    /// merge writes, so merged caches come out byte-identical across
+    /// reruns and shard counts.
     pub fn canonical(&self) -> Self {
         CellRecord {
             host_ms: 0,
+            threads_spawned: 0,
+            threads_reused: 0,
             ..self.clone()
         }
     }
@@ -149,6 +161,13 @@ impl CellRecord {
                     ),
                     ("faults_delayed".to_string(), Json::Int(c.faults_delayed)),
                     ("faults_stalled".to_string(), Json::Int(c.faults_stalled)),
+                    ("handoffs".to_string(), Json::Int(c.handoffs)),
+                    ("sim_ops".to_string(), Json::Int(c.sim_ops)),
+                    ("ops_batched".to_string(), Json::Int(c.ops_batched)),
+                    ("flush_sync".to_string(), Json::Int(c.flush_sync)),
+                    ("flush_miss".to_string(), Json::Int(c.flush_miss)),
+                    ("flush_cap".to_string(), Json::Int(c.flush_cap)),
+                    ("flush_end".to_string(), Json::Int(c.flush_end)),
                 ]),
             ),
             ("verified".to_string(), Json::Bool(self.verified)),
@@ -161,6 +180,11 @@ impl CellRecord {
             ),
             ("host_ms".to_string(), Json::Int(self.host_ms)),
             ("attempts".to_string(), Json::Int(self.attempts)),
+            (
+                "threads_spawned".to_string(),
+                Json::Int(self.threads_spawned),
+            ),
+            ("threads_reused".to_string(), Json::Int(self.threads_reused)),
         ])
     }
 
@@ -226,6 +250,14 @@ impl CellRecord {
             faults_duplicated: opt(c, "faults_duplicated"),
             faults_delayed: opt(c, "faults_delayed"),
             faults_stalled: opt(c, "faults_stalled"),
+            // Absent in records written before batched handoffs existed.
+            handoffs: opt(c, "handoffs"),
+            sim_ops: opt(c, "sim_ops"),
+            ops_batched: opt(c, "ops_batched"),
+            flush_sync: opt(c, "flush_sync"),
+            flush_miss: opt(c, "flush_miss"),
+            flush_cap: opt(c, "flush_cap"),
+            flush_end: opt(c, "flush_end"),
         };
         Ok(CellRecord {
             cell,
@@ -246,6 +278,8 @@ impl CellRecord {
             },
             host_ms: v.get("host_ms").and_then(Json::as_u64).unwrap_or(0),
             attempts: v.get("attempts").and_then(Json::as_u64).unwrap_or(1),
+            threads_spawned: v.get("threads_spawned").and_then(Json::as_u64).unwrap_or(0),
+            threads_reused: v.get("threads_reused").and_then(Json::as_u64).unwrap_or(0),
         })
     }
 }
@@ -277,6 +311,8 @@ mod tests {
             verify_error: Some("sum: got 3, want \"4\"\n(line two)".to_string()),
             host_ms: 42,
             attempts: 1,
+            threads_spawned: 3,
+            threads_reused: 0,
         }
     }
 

@@ -11,10 +11,20 @@
 //!   trajectory.
 //!
 //! Corrupt or stale-schema lines are counted and skipped, never trusted.
+//!
+//! # Memory residency
+//!
+//! The store keeps only an offset index (cell hash → byte offset of the
+//! record's line) resident; records are parsed lazily on [`ResultStore::get`].
+//! At `--scale full` a cache holds thousands of per-processor breakdown
+//! vectors, and keeping them all decoded would dwarf the simulator's own
+//! footprint. Opening still validates every line once (parse then drop) so
+//! corrupt lines are counted exactly as before. One append handle is held
+//! for the store's lifetime — appends never reopen the file.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::json::Json;
@@ -30,49 +40,82 @@ pub const SUMMARY_FILE: &str = "bench_summary.json";
 #[derive(Debug)]
 pub struct ResultStore {
     path: PathBuf,
-    map: HashMap<String, CellRecord>,
+    /// Held open for the store's lifetime; every append goes through it.
+    writer: File,
+    /// Cell hash → byte offset of the record's line (later lines win).
+    index: HashMap<String, u64>,
+    /// End-of-file offset where the next append lands.
+    end: u64,
     skipped: usize,
 }
 
 impl ResultStore {
-    /// Opens (creating if needed) the store under `results_dir`, loading
-    /// every valid cached record.
+    /// Opens (creating if needed) the store under `results_dir`, building
+    /// the offset index. Every existing line is validated once (and
+    /// dropped); unreadable lines are counted in [`ResultStore::skipped`].
     pub fn open(results_dir: &Path) -> std::io::Result<Self> {
         std::fs::create_dir_all(results_dir)?;
         let path = results_dir.join(CACHE_FILE);
-        let mut map = HashMap::new();
+        let writer = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut index = HashMap::new();
         let mut skipped = 0usize;
-        if path.exists() {
-            let reader = BufReader::new(File::open(&path)?);
-            for line in reader.lines() {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
-                }
+        let mut offset = 0u64;
+        let mut reader = BufReader::new(File::open(&path)?);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line)?;
+            if n == 0 {
+                break;
+            }
+            if !line.trim().is_empty() {
+                // Validate transiently; only the offset stays resident.
                 match Json::parse(&line).and_then(|j| CellRecord::from_json(&j)) {
                     Ok(rec) => {
-                        map.insert(rec.cell.hash(), rec);
+                        index.insert(rec.cell.hash(), offset);
                     }
                     Err(_) => skipped += 1,
                 }
             }
+            offset += n as u64;
         }
-        Ok(ResultStore { path, map, skipped })
+        Ok(ResultStore {
+            path,
+            writer,
+            index,
+            end: offset,
+            skipped,
+        })
     }
 
-    /// The cached record for `hash`, if present.
-    pub fn get(&self, hash: &str) -> Option<&CellRecord> {
-        self.map.get(hash)
+    /// The cached record for `hash`, if present — parsed from disk on
+    /// every call (records are not kept resident).
+    pub fn get(&self, hash: &str) -> Option<CellRecord> {
+        let &offset = self.index.get(hash)?;
+        let mut reader = File::open(&self.path).ok()?;
+        reader.seek(SeekFrom::Start(offset)).ok()?;
+        let mut line = String::new();
+        BufReader::new(reader).read_line(&mut line).ok()?;
+        // The line validated at open/append time; a parse failure here
+        // means the file changed underneath us — treat as a miss.
+        Json::parse(&line)
+            .and_then(|j| CellRecord::from_json(&j))
+            .ok()
+    }
+
+    /// Whether a record for `hash` is cached (no parse, index only).
+    pub fn contains(&self, hash: &str) -> bool {
+        self.index.contains_key(hash)
     }
 
     /// Number of cached records.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.index.len()
     }
 
     /// Whether the store holds no records.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.index.is_empty()
     }
 
     /// Number of unreadable lines skipped while loading.
@@ -80,16 +123,13 @@ impl ResultStore {
         self.skipped
     }
 
-    /// Appends `rec` to the cache file and the in-memory index.
+    /// Appends `rec` through the held handle and indexes its offset.
     pub fn append(&mut self, rec: CellRecord) -> std::io::Result<()> {
-        let mut f = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
         let mut line = rec.to_json().render();
         line.push('\n');
-        f.write_all(line.as_bytes())?;
-        self.map.insert(rec.cell.hash(), rec);
+        self.writer.write_all(line.as_bytes())?;
+        self.index.insert(rec.cell.hash(), self.end);
+        self.end += line.len() as u64;
         Ok(())
     }
 }
@@ -113,6 +153,8 @@ mod tests {
             verify_error: None,
             host_ms: 1,
             attempts: 1,
+            threads_spawned: 0,
+            threads_reused: 0,
         }
     }
 
@@ -131,12 +173,18 @@ mod tests {
             s.append(record("FFT", 100)).expect("append");
             s.append(record("Radix", 200)).expect("append");
             assert_eq!(s.len(), 2);
+            // Appends are visible through the same store without reopening.
+            let hash = record("Radix", 0).cell.hash();
+            assert!(s.contains(&hash));
+            assert_eq!(s.get(&hash).expect("hit").total_cycles, 200);
         }
         let s = ResultStore::open(&dir).expect("reopen");
         assert_eq!(s.len(), 2);
         assert_eq!(s.skipped(), 0);
         let hash = record("FFT", 0).cell.hash();
         assert_eq!(s.get(&hash).expect("hit").total_cycles, 100);
+        assert!(!s.contains("no-such-hash"));
+        assert!(s.get("no-such-hash").is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -158,6 +206,33 @@ mod tests {
         assert_eq!(s.skipped(), 1);
         let hash = record("FFT", 0).cell.hash();
         assert_eq!(s.get(&hash).expect("hit").total_cycles, 300);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn offsets_stay_correct_across_corrupt_prefix_appends() {
+        // Offsets must index the right byte positions even when earlier
+        // lines are garbage and appends continue after reopening.
+        let dir = tmpdir("offsets");
+        {
+            let mut s = ResultStore::open(&dir).expect("open");
+            s.append(record("FFT", 1)).expect("append");
+        }
+        let path = dir.join(CACHE_FILE);
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.insert_str(0, "garbage line\n");
+        std::fs::write(&path, text).expect("write");
+        let mut s = ResultStore::open(&dir).expect("reopen");
+        s.append(record("Radix", 2)).expect("append");
+        s.append(record("LU-Contiguous", 3)).expect("append");
+        for (app, cycles) in [("FFT", 1), ("Radix", 2), ("LU-Contiguous", 3)] {
+            let hash = record(app, 0).cell.hash();
+            assert_eq!(
+                s.get(&hash).expect("hit").total_cycles,
+                cycles,
+                "{app} record mis-indexed"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -83,7 +83,11 @@ fn shard_counts_one_two_seven_merge_byte_identically() {
 #[test]
 fn sharded_run_renders_the_same_table_as_a_plain_run() {
     let root = tmpdir("vs-plain");
-    let plain = demo(&["--no-cache"], &[]);
+    let plain_dir = root.join("plain");
+    let plain = demo(
+        &["--no-cache", "--results", plain_dir.to_str().unwrap()],
+        &[],
+    );
     assert!(plain.status.success());
     let dir = root.join("sharded");
     let sharded = demo(&["--shards", "3", "--results", dir.to_str().unwrap()], &[]);
