@@ -1,7 +1,7 @@
 //! Chaos sweep: deterministic fault injection across fault rate x
 //! protocol x application.
 //!
-//! Every application runs under HLRC and SC at the base ("AO") layer
+//! Every application runs under HLRC, SC and RDMA at the base ("AO") layer
 //! configuration, once fault-free and once per requested fault rate (the
 //! per-class rate of message drops, duplicates, delay spikes and NI
 //! stalls). The reliability sublayer must recover every run to the same
@@ -60,7 +60,7 @@ fn main() {
     );
 
     let apps = cli.apps();
-    let protocols = [Protocol::Hlrc, Protocol::Sc];
+    let protocols = [Protocol::Hlrc, Protocol::Sc, Protocol::Rdma];
     let cells_for = |app: &str, proto: Protocol| {
         // Rate 0 is the clean cell: `with_faults(FaultSpec::none())` keeps
         // the pre-fault cell identity (and cache hash) bit-for-bit.

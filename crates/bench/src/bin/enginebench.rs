@@ -1,12 +1,14 @@
 //! Engine scheduling microbench: what operation batching buys per cell.
 //!
-//! Runs every application under HLRC at the base layer configuration,
-//! once with batched baton handoffs and once without, and reports the
-//! schedule-derived evidence (handoffs per cell, the fraction of
-//! operations that travelled in a batch, flush causes) plus host-side
+//! Runs every application under HLRC and RDMA at the base layer
+//! configuration, once with batched baton handoffs and once without, and
+//! reports the schedule-derived evidence (handoffs per cell, the fraction
+//! of operations that travelled in a batch, flush causes) plus host-side
 //! cells/sec. On a one-CPU CI container wall-clock is noise, so the
-//! binary *asserts* on the deterministic counters instead: at least five
-//! applications must show a >= 3x handoff reduction, or it exits nonzero.
+//! binary *asserts* on the deterministic counters instead: for every
+//! protocol, at least five applications must show a >= 3x handoff
+//! reduction, or it exits nonzero — the batching HintBoard path is
+//! protocol-agnostic and must pay off for one-sided coherence too.
 //!
 //! The machine-readable report lands in `results/BENCH_engine.json`
 //! (committed; the counter fields are deterministic, the `cells_per_sec`
@@ -65,87 +67,110 @@ fn main() {
     }
     println!("Engine batching bench: {procs} processors, scale test.\n");
 
-    let run = |app: &str, batching: bool| -> CellRecord {
-        let cell = Cell::new(app, Protocol::Hlrc, LayerConfig::base(), procs, Scale::Test);
+    let run = |app: &str, proto: Protocol, batching: bool| -> CellRecord {
+        let cell = Cell::new(app, proto, LayerConfig::base(), procs, Scale::Test);
         execute_with(&cell, None, batching).unwrap_or_else(|e| die(&format!("{app} failed: {e}")))
     };
 
+    let protocols = [Protocol::Hlrc, Protocol::Rdma];
     let mut t = Table::new(vec![
         "Application".to_string(),
+        "Protocol".to_string(),
         "Handoffs".to_string(),
         "Unbatched".to_string(),
         "Reduction".to_string(),
         "Ops/batchd".to_string(),
     ]);
     let mut entries: Vec<Json> = Vec::new();
-    let mut cleared = 0usize;
+    let mut cleared = vec![0usize; protocols.len()];
     let (mut secs_batched, mut secs_unbatched) = (0.0f64, 0.0f64);
     for app in &apps {
-        let t0 = Instant::now();
-        let b = run(app.name, true);
-        secs_batched += t0.elapsed().as_secs_f64();
-        let t0 = Instant::now();
-        let u = run(app.name, false);
-        secs_unbatched += t0.elapsed().as_secs_f64();
-        let (bc, uc) = (&b.counters, &u.counters);
-        if bc.sim_ops != uc.sim_ops {
-            die(&format!(
-                "{}: op streams differ ({} vs {} ops) — batching is not transparent",
-                app.name, bc.sim_ops, uc.sim_ops
-            ));
+        for (pi, &proto) in protocols.iter().enumerate() {
+            let t0 = Instant::now();
+            let b = run(app.name, proto, true);
+            secs_batched += t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let u = run(app.name, proto, false);
+            secs_unbatched += t0.elapsed().as_secs_f64();
+            let (bc, uc) = (&b.counters, &u.counters);
+            if bc.sim_ops != uc.sim_ops {
+                die(&format!(
+                    "{} {}: op streams differ ({} vs {} ops) — batching is not transparent",
+                    app.name,
+                    proto.label(),
+                    bc.sim_ops,
+                    uc.sim_ops
+                ));
+            }
+            let ratio = uc.handoffs as f64 / bc.handoffs.max(1) as f64;
+            let batched_frac = bc.ops_batched as f64 / bc.sim_ops.max(1) as f64;
+            if ratio >= 3.0 {
+                cleared[pi] += 1;
+            }
+            t.row(vec![
+                app.name.to_string(),
+                proto.label().to_string(),
+                bc.handoffs.to_string(),
+                uc.handoffs.to_string(),
+                format!("{ratio:.1}x"),
+                format!("{:.0}%", batched_frac * 100.0),
+            ]);
+            entries.push(Json::Obj(vec![
+                ("app".to_string(), Json::Str(app.name.to_string())),
+                ("protocol".to_string(), Json::Str(proto.label().to_string())),
+                ("handoffs".to_string(), Json::Int(bc.handoffs)),
+                ("handoffs_unbatched".to_string(), Json::Int(uc.handoffs)),
+                ("handoff_reduction".to_string(), Json::Num(ratio)),
+                ("sim_ops".to_string(), Json::Int(bc.sim_ops)),
+                ("ops_batched".to_string(), Json::Int(bc.ops_batched)),
+                ("batched_op_ratio".to_string(), Json::Num(batched_frac)),
+                ("flush_sync".to_string(), Json::Int(bc.flush_sync)),
+                ("flush_miss".to_string(), Json::Int(bc.flush_miss)),
+                ("flush_cap".to_string(), Json::Int(bc.flush_cap)),
+                ("flush_end".to_string(), Json::Int(bc.flush_end)),
+            ]));
         }
-        let ratio = uc.handoffs as f64 / bc.handoffs.max(1) as f64;
-        let batched_frac = bc.ops_batched as f64 / bc.sim_ops.max(1) as f64;
-        if ratio >= 3.0 {
-            cleared += 1;
-        }
-        t.row(vec![
-            app.name.to_string(),
-            bc.handoffs.to_string(),
-            uc.handoffs.to_string(),
-            format!("{ratio:.1}x"),
-            format!("{:.0}%", batched_frac * 100.0),
-        ]);
-        entries.push(Json::Obj(vec![
-            ("app".to_string(), Json::Str(app.name.to_string())),
-            ("handoffs".to_string(), Json::Int(bc.handoffs)),
-            ("handoffs_unbatched".to_string(), Json::Int(uc.handoffs)),
-            ("handoff_reduction".to_string(), Json::Num(ratio)),
-            ("sim_ops".to_string(), Json::Int(bc.sim_ops)),
-            ("ops_batched".to_string(), Json::Int(bc.ops_batched)),
-            ("batched_op_ratio".to_string(), Json::Num(batched_frac)),
-            ("flush_sync".to_string(), Json::Int(bc.flush_sync)),
-            ("flush_miss".to_string(), Json::Int(bc.flush_miss)),
-            ("flush_cap".to_string(), Json::Int(bc.flush_cap)),
-            ("flush_end".to_string(), Json::Int(bc.flush_end)),
-        ]));
     }
     println!("{}", t.render());
+    let cells = (apps.len() * protocols.len()) as f64;
     println!(
         "cells/sec (host, wall-clock): {:.1} batched, {:.1} unbatched",
-        apps.len() as f64 / secs_batched.max(1e-9),
-        apps.len() as f64 / secs_unbatched.max(1e-9),
+        cells / secs_batched.max(1e-9),
+        cells / secs_unbatched.max(1e-9),
     );
-    println!(
-        "{cleared}/{} applications at >= 3x handoff reduction",
-        apps.len()
-    );
+    for (pi, &proto) in protocols.iter().enumerate() {
+        println!(
+            "{}: {}/{} applications at >= 3x handoff reduction",
+            proto.label(),
+            cleared[pi],
+            apps.len()
+        );
+    }
 
     let report = Json::Obj(vec![
         (
             "schema".to_string(),
-            Json::Str("ssm-enginebench/1".to_string()),
+            Json::Str("ssm-enginebench/2".to_string()),
         ),
         ("procs".to_string(), Json::Int(procs as u64)),
         ("scale".to_string(), Json::Str("test".to_string())),
-        ("apps_at_3x".to_string(), Json::Int(cleared as u64)),
+        (
+            "apps_at_3x".to_string(),
+            Json::Obj(
+                protocols
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, p)| (p.label().to_string(), Json::Int(cleared[pi] as u64)))
+                    .collect(),
+            ),
+        ),
         (
             "cells_per_sec_batched".to_string(),
-            Json::Num(apps.len() as f64 / secs_batched.max(1e-9)),
+            Json::Num(cells / secs_batched.max(1e-9)),
         ),
         (
             "cells_per_sec_unbatched".to_string(),
-            Json::Num(apps.len() as f64 / secs_unbatched.max(1e-9)),
+            Json::Num(cells / secs_unbatched.max(1e-9)),
         ),
         ("apps".to_string(), Json::Arr(entries)),
     ]);
@@ -164,10 +189,18 @@ fn main() {
         );
     }
 
-    // The full application filter must hold the CI bar; a substring run
-    // (fewer than 5 apps) only reports.
-    if filter.is_empty() && cleared < 5 {
-        eprintln!("error: only {cleared} application(s) reached a 3x handoff reduction (need 5)");
-        std::process::exit(1);
+    // The full application filter must hold the CI bar for every
+    // protocol; a substring run (fewer than 5 apps) only reports.
+    if filter.is_empty() {
+        for (pi, &proto) in protocols.iter().enumerate() {
+            if cleared[pi] < 5 {
+                eprintln!(
+                    "error: only {} application(s) reached a 3x handoff reduction under {} (need 5)",
+                    cleared[pi],
+                    proto.label()
+                );
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -18,7 +18,7 @@ use ssm_sweep::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run --app NAME [--protocol hlrc|aurc|sc|sc-delayed|ideal] \
+        "usage: run --app NAME [--protocol hlrc|aurc|sc|sc-delayed|rdma|ideal] \
          [--comm A|B|B+|H|W] [--proto O|H|B] [--procs N] \
          [--scale test|bench|full] [--homes rr|first-touch] [--block BYTES] \
          [--jobs N] [--no-cache] [--results DIR] \
@@ -50,6 +50,7 @@ fn parse() -> (SweepCli, Extra) {
                     "aurc" => Protocol::Aurc,
                     "sc" => Protocol::Sc,
                     "sc-delayed" => Protocol::ScDelayed,
+                    "rdma" => Protocol::Rdma,
                     "ideal" => Protocol::Ideal,
                     _ => usage(),
                 })

@@ -167,6 +167,12 @@ impl LayerConfig {
         ))
     }
 
+    /// Alias of [`LayerConfig::parse`], matching the `from_label` naming
+    /// of [`CommPreset`], [`ProtoPreset`] and [`Protocol`].
+    pub fn from_label(label: &str) -> Result<Self, String> {
+        LayerConfig::parse(label)
+    }
+
     /// The same configuration with deterministic fault injection set.
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
@@ -283,11 +289,26 @@ pub enum Protocol {
     /// footnote variant: "a little better than SC for most granularities
     /// smaller than a page").
     ScDelayed,
+    /// One-sided RDMA / disaggregated-memory protocol: home memory served
+    /// directly by the NI (no host involvement), write-back caching of
+    /// remote lines with explicit invalidation, and synchronization-aware
+    /// ownership handoff on lock transfer (GCS-style).
+    Rdma,
     /// The idealized machine (free communication and protocol).
     Ideal,
 }
 
 impl Protocol {
+    /// Every protocol, in the order the tables print them.
+    pub const ALL: [Protocol; 6] = [
+        Protocol::Hlrc,
+        Protocol::Aurc,
+        Protocol::Sc,
+        Protocol::ScDelayed,
+        Protocol::Rdma,
+        Protocol::Ideal,
+    ];
+
     /// Display name.
     pub fn label(self) -> &'static str {
         match self {
@@ -295,6 +316,7 @@ impl Protocol {
             Protocol::Aurc => "AURC",
             Protocol::Sc => "SC",
             Protocol::ScDelayed => "SC-delayed",
+            Protocol::Rdma => "RDMA",
             Protocol::Ideal => "IDEAL",
         }
     }
@@ -306,6 +328,7 @@ impl Protocol {
             "AURC" => Ok(Protocol::Aurc),
             "SC" => Ok(Protocol::Sc),
             "SC-delayed" => Ok(Protocol::ScDelayed),
+            "RDMA" => Ok(Protocol::Rdma),
             "IDEAL" => Ok(Protocol::Ideal),
             other => Err(format!("unknown protocol {other:?}")),
         }
@@ -348,17 +371,15 @@ mod tests {
         for proto in ProtoPreset::ALL {
             assert_eq!(ProtoPreset::from_label(proto.label()), Ok(proto));
         }
-        for p in [
-            Protocol::Hlrc,
-            Protocol::Aurc,
-            Protocol::Sc,
-            Protocol::ScDelayed,
-            Protocol::Ideal,
-        ] {
+        // Exhaustive over Protocol::ALL so a new variant that misses a
+        // from_label arm fails here rather than at sweep-cache load time.
+        for p in Protocol::ALL {
             assert_eq!(Protocol::from_label(p.label()), Ok(p));
         }
+        assert_eq!(Protocol::from_label("RDMA"), Ok(Protocol::Rdma));
         for cfg in LayerConfig::full_grid() {
             assert_eq!(LayerConfig::parse(&cfg.label()), Ok(cfg));
+            assert_eq!(LayerConfig::from_label(&cfg.label()), Ok(cfg));
         }
         assert_eq!(
             LayerConfig::parse("B+B"),

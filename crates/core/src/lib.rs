@@ -52,6 +52,7 @@ use ssm_hlrc::Hlrc;
 use ssm_mem::MemConfig;
 use ssm_net::CommParams;
 use ssm_proto::{HomePolicy, Machine, ProtoCosts, Workload};
+use ssm_rdma::Rdma;
 use ssm_sc::Sc;
 
 /// Default processor count — the paper's 16-node scale.
@@ -220,6 +221,12 @@ impl SimBuilder {
                 let mut p = Sc::delayed(self.sc_block).with_homes(self.homes);
                 driver::run_simulation_with(&mut p, workload, self.nprocs, machine, &opts)
             }
+            Protocol::Rdma => {
+                // The one-sided protocol shares the SC granularity knob:
+                // its line size is the application's best block size.
+                let mut p = Rdma::new(self.sc_block).with_homes(self.homes);
+                driver::run_simulation_with(&mut p, workload, self.nprocs, machine, &opts)
+            }
             Protocol::Ideal => {
                 let mut p = ssm_proto::Ideal::new();
                 driver::run_simulation_with(&mut p, workload, self.nprocs, machine, &opts)
@@ -306,7 +313,12 @@ mod tests {
 
     #[test]
     fn runs_on_all_protocols_and_verifies() {
-        for proto in [Protocol::Ideal, Protocol::Hlrc, Protocol::Sc] {
+        for proto in [
+            Protocol::Ideal,
+            Protocol::Hlrc,
+            Protocol::Sc,
+            Protocol::Rdma,
+        ] {
             let w = SumAll::new(4);
             let r = SimBuilder::new(proto).procs(4).run(&w).expect_verified();
             assert_eq!(r.nprocs, 4);
@@ -317,7 +329,7 @@ mod tests {
 
     #[test]
     fn faulty_runs_verify_and_are_deterministic() {
-        for proto in [Protocol::Hlrc, Protocol::Sc] {
+        for proto in [Protocol::Hlrc, Protocol::Sc, Protocol::Rdma] {
             let w = SumAll::new(4);
             let clean = SimBuilder::new(proto).procs(4).run(&w).expect_verified();
             let spec = FaultSpec::at(200_000, 42);

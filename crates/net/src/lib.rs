@@ -46,6 +46,17 @@ pub struct CommParams {
     pub link_latency: Cycles,
     /// Maximum packet size in bytes.
     pub max_packet: u64,
+    /// NI processor occupancy to serve a one-sided (RDMA) read or write
+    /// against host memory at the *target* node, with no host CPU
+    /// involvement. Cheaper than [`CommParams::ni_occupancy`]: the NI only
+    /// DMAs to/from a pre-translated address instead of running the full
+    /// per-packet send path.
+    pub rdma_occupancy: Cycles,
+    /// Host processor busy time to post a one-sided descriptor at the
+    /// *initiator* (fill in remote address + length, ring the doorbell).
+    /// Cheaper than [`CommParams::host_overhead`]: no marshalling, no
+    /// handler dispatch state.
+    pub rdma_issue: Cycles,
 }
 
 impl CommParams {
@@ -59,6 +70,8 @@ impl CommParams {
             msg_handling: 200,
             link_latency: 20,
             max_packet: 4096,
+            rdma_occupancy: 250,
+            rdma_issue: 150,
         }
     }
 
@@ -75,6 +88,8 @@ impl CommParams {
             msg_handling: 0,
             link_latency: 20,
             max_packet: 4096,
+            rdma_occupancy: 0,
+            rdma_issue: 0,
         }
     }
 
@@ -90,6 +105,8 @@ impl CommParams {
             msg_handling: 0,
             link_latency: 0,
             max_packet: 4096,
+            rdma_occupancy: 0,
+            rdma_issue: 0,
         }
     }
 
@@ -103,6 +120,8 @@ impl CommParams {
             msg_handling: 100,
             link_latency: 20,
             max_packet: 4096,
+            rdma_occupancy: 125,
+            rdma_issue: 75,
         }
     }
 
@@ -116,6 +135,8 @@ impl CommParams {
             msg_handling: 400,
             link_latency: 20,
             max_packet: 4096,
+            rdma_occupancy: 500,
+            rdma_issue: 300,
         }
     }
 }
@@ -519,6 +540,19 @@ impl Network {
         }
     }
 
+    /// Serves a one-sided (RDMA) operation at `node`'s NI: the NI reads or
+    /// writes host memory directly, occupying the NI processor for
+    /// [`CommParams::rdma_occupancy`] with *no host CPU involvement*.
+    /// Returns the cycle the NI is done. One-sided service contends with
+    /// ordinary sends on the same NI — the FIFO resource serializes both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn rdma_serve(&mut self, t: Cycles, node: usize) -> Cycles {
+        self.nodes[node].ni.acquire(t, self.params.rdma_occupancy)
+    }
+
     /// One-way zero-load latency of a `bytes` message (no contention), for
     /// reporting and sanity checks.
     pub fn zero_load_latency(&self, bytes: u64) -> Cycles {
@@ -555,6 +589,33 @@ mod tests {
         assert!(a.host_overhead < w.host_overhead);
         assert_eq!(CommParams::best().host_overhead, 0);
         assert_eq!(CommParams::better_than_best().link_latency, 0);
+        // The one-sided knobs scale with the rest of the preset, and are
+        // always cheaper than the two-sided costs they bypass.
+        assert!(h.rdma_occupancy < a.rdma_occupancy);
+        assert!(a.rdma_occupancy < w.rdma_occupancy);
+        assert_eq!(CommParams::best().rdma_occupancy, 0);
+        assert_eq!(CommParams::better_than_best().rdma_issue, 0);
+        for p in [a, h, w] {
+            assert!(p.rdma_occupancy < p.ni_occupancy);
+            assert!(p.rdma_issue < p.host_overhead);
+        }
+    }
+
+    #[test]
+    fn rdma_serve_occupies_the_ni() {
+        let mut net = Network::new(2, CommParams::achievable());
+        // Serving a one-sided op costs exactly the RDMA occupancy...
+        assert_eq!(net.rdma_serve(0, 1), 250);
+        // ...and contends FIFO with ordinary sends on the same NI: a send
+        // issued behind the one-sided service queues at the NI (the source
+        // bus DMA overlaps part of the wait, so the penalty is the
+        // remaining occupancy, not the full 250).
+        let mut fresh = Network::new(2, CommParams::achievable());
+        let uncontended = fresh.deliver(0, 1, 0, 64);
+        let contended = net.deliver(0, 1, 0, 64);
+        assert_eq!(contended, uncontended + (250 - 128));
+        // Other nodes' NIs are untouched.
+        assert_eq!(net.rdma_serve(1000, 0), 1250);
     }
 
     #[test]

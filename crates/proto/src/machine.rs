@@ -497,6 +497,15 @@ impl Machine {
         }
     }
 
+    /// Serves a one-sided (RDMA) operation at `node`'s NI at `at`: the NI
+    /// reads or writes host memory directly, with no host CPU involvement
+    /// and no handler dispatch. Returns the cycle the NI is done serving.
+    /// Contends FIFO with ordinary message sends on the same NI.
+    pub fn rdma_serve(&mut self, node: usize, at: Cycles) -> Cycles {
+        self.trace_event(at, node, "rdma", || "one-sided service".to_string());
+        self.net.rdma_serve(at, node)
+    }
+
     /// Dispatches a *request* handler on `node` for a message arriving at
     /// `arrival`: charges the message-handling cost plus
     /// `handler_base + per_list_element * list_elements`, all as protocol

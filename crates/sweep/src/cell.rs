@@ -12,6 +12,11 @@ use ssm_proto::HomePolicy;
 
 use crate::json::Json;
 
+/// Achievable-preset values for the one-sided RDMA knobs. Custom comm specs
+/// at these values canonicalize (and serialize) exactly as they did before
+/// the knobs existed, keeping every pre-RDMA cell hash and cache line valid.
+const RDMA_DEFAULTS: (u64, u64) = (250, 150);
+
 /// The communication layer of a cell: one of the paper's named presets, or
 /// explicit parameter values (Figure 5 and the ablations vary single
 /// parameters off-preset).
@@ -50,10 +55,16 @@ impl CommSpec {
                     Some((b, c)) => format!("{b}/{c}"),
                     None => "inf".to_string(),
                 };
-                format!(
+                let mut s = format!(
                     "custom:{},{rate},{},{},{},{}",
                     p.host_overhead, p.ni_occupancy, p.msg_handling, p.link_latency, p.max_packet
-                )
+                );
+                // Appended only when off the achievable defaults so every
+                // pre-RDMA custom cell keeps its canonical form and hash.
+                if (p.rdma_occupancy, p.rdma_issue) != RDMA_DEFAULTS {
+                    s.push_str(&format!(",rdma:{}/{}", p.rdma_occupancy, p.rdma_issue));
+                }
+                s
             }
         }
     }
@@ -75,6 +86,12 @@ impl CommSpec {
                         Json::Arr(vec![Json::Int(b), Json::Int(c)]),
                     )),
                     None => fields.push(("io_bus_rate".to_string(), Json::Null)),
+                }
+                // Emitted only off-default, so pre-RDMA records render
+                // byte-identically.
+                if (p.rdma_occupancy, p.rdma_issue) != RDMA_DEFAULTS {
+                    fields.push(("rdma_occupancy".to_string(), Json::Int(p.rdma_occupancy)));
+                    fields.push(("rdma_issue".to_string(), Json::Int(p.rdma_issue)));
                 }
                 Json::Obj(fields)
             }
@@ -105,6 +122,15 @@ impl CommSpec {
             msg_handling: int("msg_handling")?,
             link_latency: int("link_latency")?,
             max_packet: int("max_packet")?,
+            // Absent in records written before the RDMA layer existed.
+            rdma_occupancy: v
+                .get("rdma_occupancy")
+                .and_then(Json::as_u64)
+                .unwrap_or(RDMA_DEFAULTS.0),
+            rdma_issue: v
+                .get("rdma_issue")
+                .and_then(Json::as_u64)
+                .unwrap_or(RDMA_DEFAULTS.1),
         }))
     }
 }
@@ -527,6 +553,27 @@ mod tests {
         let back = Cell::from_json(&Json::parse(&text).expect("parse")).expect("cell");
         assert_eq!(back, faulty, "{text}");
         assert_eq!(back.hash(), faulty.hash());
+    }
+
+    #[test]
+    fn rdma_knobs_extend_the_hash_only_when_off_default() {
+        // At the achievable defaults the custom canonical form (and JSON)
+        // is byte-identical to the pre-RDMA schema.
+        let base = cell().with_comm_params(CommParams::achievable());
+        assert!(!base.canonical().contains("rdma"));
+        assert!(!base.to_json().render().contains("rdma"));
+        // Off-default values extend the canonical form and hence the hash.
+        let mut params = CommParams::achievable();
+        params.rdma_occupancy = 500;
+        params.rdma_issue = 300;
+        let tuned = cell().with_comm_params(params);
+        assert!(tuned.canonical().ends_with(",rdma:500/300|O|16|bench|-|rr"));
+        assert_ne!(tuned.hash(), base.hash());
+        // And round-trip through JSON intact.
+        let text = tuned.to_json().render();
+        let back = Cell::from_json(&Json::parse(&text).expect("parse")).expect("cell");
+        assert_eq!(back, tuned, "{text}");
+        assert_eq!(back.hash(), tuned.hash());
     }
 
     #[test]

@@ -215,11 +215,6 @@ impl SweepCli {
     }
 
     /// Executor options for this invocation.
-    #[deprecated(note = "use `Sweep::enumerate(cells).configure(&cli).run()` instead")]
-    pub fn opts(&self) -> SweepOpts {
-        self.sweep_opts()
-    }
-
     pub(crate) fn sweep_opts(&self) -> SweepOpts {
         SweepOpts {
             jobs: self.jobs,

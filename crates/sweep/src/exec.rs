@@ -473,20 +473,14 @@ pub(crate) fn dedup_cells(cells: &[Cell]) -> (HashMap<String, usize>, Vec<(Cell,
     (index, unique)
 }
 
-/// Executes `cells` (deduplicated by hash, first occurrence wins) and
-/// returns the outcomes in enumeration order.
+/// The in-process executor behind [`crate::Sweep::run`]: executes `cells`
+/// (deduplicated by hash, first occurrence wins) and returns the outcomes
+/// in enumeration order.
 ///
 /// Cached cells are served from the [`ResultStore`] without executing;
 /// fresh results are appended to it as they complete. With
 /// `opts.summary`, the sweep's `bench_summary.json` is (re)written at the
 /// end.
-#[deprecated(note = "use `Sweep::enumerate(cells).options(opts).run()` instead")]
-pub fn run_sweep(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
-    run_local(cells, opts)
-}
-
-/// The in-process executor behind [`crate::Sweep::run`] (and the
-/// deprecated [`run_sweep`] wrapper).
 pub(crate) fn run_local(cells: &[Cell], opts: &SweepOpts) -> SweepRun {
     install_panic_filter();
     let sweep_started = Instant::now();

@@ -55,8 +55,6 @@ pub mod store;
 pub use builder::Sweep;
 pub use cell::{scale_from_label, scale_label, Cell, CommSpec};
 pub use cli::SweepCli;
-#[allow(deprecated)]
-pub use exec::run_sweep;
 pub use exec::{execute, execute_with, CellOutcome, CellStatus, SweepOpts, SweepRun};
 pub use json::Json;
 pub use merge::{merge_caches, MergeError, MergeOutcome};

@@ -11,6 +11,9 @@
 //!   trajectory.
 //!
 //! Corrupt or stale-schema lines are counted and skipped, never trusted.
+//! A torn *trailing* line (a partial record with no newline, left by an
+//! interrupted append) is truncated away at open, so a crashed sweep
+//! resumes onto a clean tail instead of poisoning the next append.
 //!
 //! # Memory residency
 //!
@@ -53,10 +56,12 @@ impl ResultStore {
     /// Opens (creating if needed) the store under `results_dir`, building
     /// the offset index. Every existing line is validated once (and
     /// dropped); unreadable lines are counted in [`ResultStore::skipped`].
+    /// A torn trailing line (partial record, no newline) is truncated away
+    /// — not counted — so an interrupted sweep resumes cleanly.
     pub fn open(results_dir: &Path) -> std::io::Result<Self> {
         std::fs::create_dir_all(results_dir)?;
         let path = results_dir.join(CACHE_FILE);
-        let writer = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut writer = OpenOptions::new().create(true).append(true).open(&path)?;
         let mut index = HashMap::new();
         let mut skipped = 0usize;
         let mut offset = 0u64;
@@ -66,6 +71,22 @@ impl ResultStore {
             line.clear();
             let n = reader.read_line(&mut line)?;
             if n == 0 {
+                break;
+            }
+            if !line.ends_with('\n') {
+                // A final line missing its newline is a torn append from an
+                // interrupted run. If the record itself survived intact,
+                // heal it in place by finishing the line; otherwise truncate
+                // the partial write so the next append starts on a clean
+                // line boundary instead of gluing onto garbage.
+                match Json::parse(&line).and_then(|j| CellRecord::from_json(&j)) {
+                    Ok(rec) => {
+                        writer.write_all(b"\n")?;
+                        index.insert(rec.cell.hash(), offset);
+                        offset += n as u64 + 1;
+                    }
+                    Err(_) => writer.set_len(offset)?,
+                }
                 break;
             }
             if !line.trim().is_empty() {
@@ -206,6 +227,70 @@ mod tests {
         assert_eq!(s.skipped(), 1);
         let hash = record("FFT", 0).cell.hash();
         assert_eq!(s.get(&hash).expect("hit").total_cycles, 300);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_line_truncates_for_a_clean_resume() {
+        let dir = tmpdir("torn");
+        {
+            let mut s = ResultStore::open(&dir).expect("open");
+            s.append(record("FFT", 100)).expect("append");
+        }
+        let path = dir.join(CACHE_FILE);
+        let clean = std::fs::read_to_string(&path).expect("read");
+        // Simulate a crash mid-append: half of the next record, no newline.
+        let partial = &record("Radix", 200).to_json().render()[..40];
+        std::fs::write(&path, format!("{clean}{partial}")).expect("write");
+        {
+            let mut s = ResultStore::open(&dir).expect("reopen");
+            // The torn tail is truncated, not skip-counted.
+            assert_eq!(s.skipped(), 0);
+            assert_eq!(s.len(), 1);
+            assert_eq!(
+                std::fs::read_to_string(&path).expect("read"),
+                clean,
+                "torn tail should be truncated away"
+            );
+            // The resumed sweep re-executes the lost cell and appends it
+            // onto the clean boundary.
+            s.append(record("Radix", 200)).expect("append");
+        }
+        let s = ResultStore::open(&dir).expect("resume");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.skipped(), 0);
+        let hash = record("Radix", 0).cell.hash();
+        assert_eq!(s.get(&hash).expect("hit").total_cycles, 200);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn intact_unterminated_tail_is_healed_not_dropped() {
+        let dir = tmpdir("heal");
+        {
+            let mut s = ResultStore::open(&dir).expect("open");
+            s.append(record("FFT", 100)).expect("append");
+        }
+        // Crash after the record bytes but before the newline: the record
+        // is complete, only the line terminator is missing.
+        let path = dir.join(CACHE_FILE);
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str(&record("Radix", 200).to_json().render());
+        std::fs::write(&path, &text).expect("write");
+        {
+            let mut s = ResultStore::open(&dir).expect("reopen");
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.skipped(), 0);
+            // Appends after healing land on their own lines.
+            s.append(record("LU-Contiguous", 300)).expect("append");
+        }
+        let s = ResultStore::open(&dir).expect("resume");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.skipped(), 0);
+        for (app, cycles) in [("FFT", 100), ("Radix", 200), ("LU-Contiguous", 300)] {
+            let hash = record(app, 0).cell.hash();
+            assert_eq!(s.get(&hash).expect("hit").total_cycles, cycles, "{app}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

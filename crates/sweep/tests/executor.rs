@@ -235,14 +235,3 @@ fn no_cache_runs_do_not_touch_disk() {
     assert_eq!(run.executed, 1);
     assert!(!dir.exists(), "no-cache sweep created {dir:?}");
 }
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_run_sweep_wrapper_still_works() {
-    // The pre-builder entry point must stay behaviorally identical for
-    // out-of-tree callers until it is removed.
-    let cell = Cell::ideal("FFT", 2, Scale::Test);
-    let old = ssm_sweep::run_sweep(std::slice::from_ref(&cell), &quiet_opts());
-    assert_eq!(old.executed, 1);
-    assert!(old.record(&cell).is_some());
-}

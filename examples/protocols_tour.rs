@@ -1,6 +1,7 @@
 //! A tour of every protocol in the workspace on one lock-heavy workload:
-//! IDEAL, HLRC, AURC (automatic update), SC (sequential consistency) and
-//! SC-delayed (eager release consistency).
+//! IDEAL, HLRC, AURC (automatic update), SC (sequential consistency),
+//! SC-delayed (eager release consistency) and RDMA (one-sided,
+//! synchronization-aware coherence).
 //!
 //! ```text
 //! cargo run --release --example protocols_tour
@@ -26,6 +27,7 @@ fn main() {
         Protocol::Aurc,
         Protocol::Sc,
         Protocol::ScDelayed,
+        Protocol::Rdma,
     ] {
         let w = WaterNsq::new(64, 2);
         let r = SimBuilder::new(proto)
@@ -44,7 +46,9 @@ fn main() {
     println!("{t}");
     println!(
         "AURC trades diffs/twins for per-store update messages; SC-delayed\n\
-         trades per-write ownership for release-time flushes — the protocol\n\
-         design space the paper's §4.3 and footnotes sketch."
+         trades per-write ownership for release-time flushes; RDMA serves\n\
+         home memory from the NI one-sided and hands dirty protected lines\n\
+         over with the lock — the protocol design space the paper's §4.3\n\
+         and footnotes sketch, extended to the disaggregated-memory point."
     );
 }

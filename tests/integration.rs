@@ -17,6 +17,7 @@ fn whole_suite_verifies_under_all_protocols() {
             Protocol::Hlrc,
             Protocol::Aurc,
             Protocol::Sc,
+            Protocol::Rdma,
         ] {
             let w = spec.build(Scale::Test);
             let r = SimBuilder::new(proto)
